@@ -1,0 +1,328 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation. Each
+// benchmark both measures the work and emits the reproduced quantities
+// as custom metrics, so `go test -bench=. -benchmem` regenerates the
+// paper's numbers. EXPERIMENTS.md maps each benchmark to its figure.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/compilers"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+)
+
+func checkerOpts() core.Options {
+	return core.Options{
+		Timeout:       5 * time.Second,
+		FilterOrigins: true,
+		MinUBSets:     true,
+		Inline:        true,
+	}
+}
+
+func mustCheck(b *testing.B, checker *core.Checker, name, src string) []*core.Report {
+	b.Helper()
+	f, err := cc.Parse(name, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cc.Check(f); err != nil {
+		b.Fatal(err)
+	}
+	p, err := ir.Build(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return checker.CheckProgram(p)
+}
+
+// BenchmarkFig1PointerOverflowCheck: the paper's opening example —
+// detecting the unstable Figure 1 check end to end (frontend through
+// solver).
+func BenchmarkFig1PointerOverflowCheck(b *testing.B) {
+	src := `
+int parse(char *buf, char *buf_end, unsigned int len) {
+	if (buf + len >= buf_end)
+		return -1;
+	if (buf + len < buf)
+		return -1;
+	return 0;
+}
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		checker := core.New(checkerOpts())
+		reports := mustCheck(b, checker, "fig1.c", src)
+		if len(reports) == 0 {
+			b.Fatal("Figure 1 check not detected")
+		}
+	}
+}
+
+// BenchmarkFig2NullCheck: CVE-2009-1897 (Figure 2), elimination via
+// the null-dereference UB condition.
+func BenchmarkFig2NullCheck(b *testing.B) {
+	src := `
+struct sock { int fd; };
+struct tun_struct { struct sock *sk; };
+int poll(struct tun_struct *tun) {
+	struct sock *sk = tun->sk;
+	if (!tun)
+		return -22;
+	return sk->fd;
+}
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		checker := core.New(checkerOpts())
+		reports := mustCheck(b, checker, "fig2.c", src)
+		if len(reports) == 0 {
+			b.Fatal("Figure 2 check not detected")
+		}
+	}
+}
+
+// BenchmarkFig4CompilerSurvey regenerates the full Figure 4 matrix —
+// 16 compiler models × 6 examples × up to 4 optimization levels of
+// real optimizer runs — and verifies all 96 cells.
+func BenchmarkFig4CompilerSurvey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := compilers.Survey()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range compilers.Models {
+			row := rows[m.Name]
+			for e := range compilers.Examples {
+				if row[e] != m.FoldLevels[compilers.Examples[e].Opt] {
+					b.Fatalf("%s column %d deviates from the paper", m.Name, e)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(len(compilers.Models)), "compilers")
+	b.ReportMetric(float64(len(compilers.Models)*len(compilers.Examples)), "cells-verified")
+}
+
+// BenchmarkFig9BugCorpus runs the checker over the reconstructed
+// 160-bug corpus (24 system rows) and verifies every planted bug is
+// detected with its UB kind.
+func BenchmarkFig9BugCorpus(b *testing.B) {
+	sources := corpus.GenerateFig9()
+	var detected, reports int
+	for i := 0; i < b.N; i++ {
+		detected, reports = 0, 0
+		checker := core.New(checkerOpts())
+		for _, ss := range sources {
+			rs := mustCheck(b, checker, ss.System+".c", ss.Source)
+			reports += len(rs)
+			byFunc := map[string][]*core.Report{}
+			for _, r := range rs {
+				byFunc[r.Func] = append(byFunc[r.Func], r)
+			}
+			for _, bug := range ss.Bugs {
+				for _, r := range byFunc[bug.FuncName] {
+					if r.HasUB(bug.Kind) {
+						detected++
+						break
+					}
+				}
+			}
+		}
+		if detected != 160 {
+			b.Fatalf("detected %d/160 bugs", detected)
+		}
+	}
+	b.ReportMetric(float64(detected), "bugs-found")
+	b.ReportMetric(float64(reports), "reports")
+}
+
+// sweepOnce runs a synthetic-archive sweep and returns the result.
+func sweepOnce(b *testing.B, cfg corpus.ArchiveConfig) *corpus.SweepResult {
+	b.Helper()
+	pkgs := corpus.GenerateArchive(cfg)
+	res, err := corpus.Sweep(pkgs, checkerOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig16Kerberos / Postgres / Linux reproduce the Figure 16
+// performance rows: build time, analysis time, files, queries, and
+// timeouts for three package profiles (scaled; see EXPERIMENTS.md).
+func BenchmarkFig16Kerberos(b *testing.B) { benchFig16(b, 70, 6, 1) }
+
+// BenchmarkFig16Postgres is the Postgres-sized profile.
+func BenchmarkFig16Postgres(b *testing.B) { benchFig16(b, 77, 6, 2) }
+
+// BenchmarkFig16Linux is the Linux-kernel-sized profile.
+func BenchmarkFig16Linux(b *testing.B) { benchFig16(b, 280, 8, 3) }
+
+func benchFig16(b *testing.B, files, funcs int, seed int64) {
+	cfg := corpus.ArchiveConfig{
+		Packages: 1, FilesPerPackage: files, FuncsPerFile: funcs,
+		UnstableFraction: 1, Seed: seed,
+	}
+	var res *corpus.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = sweepOnce(b, cfg)
+	}
+	b.ReportMetric(float64(res.Files), "files")
+	b.ReportMetric(float64(res.Queries), "queries")
+	b.ReportMetric(float64(res.Timeouts), "query-timeouts")
+	b.ReportMetric(res.BuildTime.Seconds(), "build-sec")
+	b.ReportMetric(res.AnalysisTime.Seconds(), "analysis-sec")
+}
+
+// BenchmarkFig17ReportsByAlgorithm reproduces the Figure 17 breakdown:
+// reports per algorithm over the synthetic Debian-style archive.
+func BenchmarkFig17ReportsByAlgorithm(b *testing.B) {
+	var res *corpus.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = sweepOnce(b, corpus.DefaultArchive)
+	}
+	b.ReportMetric(float64(res.ReportsByAlgo[core.AlgoElimination]), "elimination")
+	b.ReportMetric(float64(res.ReportsByAlgo[core.AlgoSimplifyBool]), "boolean-oracle")
+	b.ReportMetric(float64(res.ReportsByAlgo[core.AlgoSimplifyAlgebra]), "algebra-oracle")
+	b.ReportMetric(float64(res.PackagesWithReports)/float64(res.Packages)*100, "pct-pkgs-with-reports")
+}
+
+// BenchmarkFig18ReportsByUBKind reproduces the Figure 18 breakdown:
+// reports per UB condition over the same archive; null-pointer
+// dereference must dominate as in the paper.
+func BenchmarkFig18ReportsByUBKind(b *testing.B) {
+	var res *corpus.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = sweepOnce(b, corpus.DefaultArchive)
+	}
+	maxKind, maxN := core.UBKind(0), -1
+	for k, n := range res.ReportsByKind {
+		if n > maxN {
+			maxKind, maxN = k, n
+		}
+	}
+	if maxKind != core.UBNullDeref {
+		b.Fatalf("dominant kind %v, want null dereference (Fig. 18)", maxKind)
+	}
+	b.ReportMetric(float64(res.ReportsByKind[core.UBNullDeref]), "null-deref")
+	b.ReportMetric(float64(res.ReportsByKind[core.UBBufferOverflow]), "buffer")
+	b.ReportMetric(float64(res.ReportsByKind[core.UBSignedOverflow]), "signed-int")
+	b.ReportMetric(float64(res.ReportsByKind[core.UBPointerOverflow]), "pointer")
+}
+
+// BenchmarkSec65MinimalUBSets reproduces the §6.5 minimal-set
+// statistic: most reports have a single UB condition in their minimal
+// set (paper: 69,301 of ~71,880).
+func BenchmarkSec65MinimalUBSets(b *testing.B) {
+	var res *corpus.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = sweepOnce(b, corpus.DefaultArchive)
+	}
+	single, multi := res.MinSetHistogram[1], 0
+	for s, n := range res.MinSetHistogram {
+		if s > 1 {
+			multi += n
+		}
+	}
+	if single <= multi {
+		b.Fatalf("single-condition sets (%d) should dominate multi (%d)", single, multi)
+	}
+	b.ReportMetric(float64(single), "single-cond-reports")
+	b.ReportMetric(float64(multi), "multi-cond-reports")
+}
+
+// BenchmarkSec66Completeness runs the ten-test §6.6 benchmark; the
+// checker must find exactly the seven the paper reports.
+func BenchmarkSec66Completeness(b *testing.B) {
+	var found int
+	for i := 0; i < b.N; i++ {
+		found = 0
+		checker := core.New(checkerOpts())
+		for _, tc := range corpus.CompletenessSuite {
+			reports := mustCheck(b, checker, "c.c", tc.Source)
+			det := false
+			for _, r := range reports {
+				if tc.Expected && r.HasUB(tc.Kind) {
+					det = true
+				}
+			}
+			if det {
+				found++
+			}
+		}
+		if found != 7 {
+			b.Fatalf("found %d/10, paper reports 7/10", found)
+		}
+	}
+	b.ReportMetric(float64(found), "found-of-10")
+}
+
+// BenchmarkAblationNoMinUBSets measures the cost of the Fig. 8
+// minimal-set computation by toggling it off (ablation for the
+// DESIGN.md design-choice index).
+func BenchmarkAblationNoMinUBSets(b *testing.B) {
+	sources := corpus.GenerateFig9()
+	opts := checkerOpts()
+	opts.MinUBSets = false
+	for i := 0; i < b.N; i++ {
+		checker := core.New(opts)
+		for _, ss := range sources {
+			mustCheck(b, checker, ss.System+".c", ss.Source)
+		}
+	}
+}
+
+// BenchmarkAblationNoInline measures checking without the §4.2
+// inlining stage.
+func BenchmarkAblationNoInline(b *testing.B) {
+	sources := corpus.GenerateFig9()
+	opts := checkerOpts()
+	opts.Inline = false
+	for i := 0; i < b.N; i++ {
+		checker := core.New(opts)
+		for _, ss := range sources {
+			mustCheck(b, checker, ss.System+".c", ss.Source)
+		}
+	}
+}
+
+// BenchmarkSec21ArchShiftSurvey regenerates the §2.1 architectural
+// shift-behavior table with the C* evaluator (x86 vs ARM vs PowerPC).
+func BenchmarkSec21ArchShiftSurvey(b *testing.B) {
+	src := `int f(int x, int y) { return x << y; }`
+	file, err := cc.Parse("s.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cc.Check(file); err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Build(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn := prog.Lookup("f")
+	want := map[[2]uint64]map[ir.Arch]uint64{
+		{1, 32}: {ir.ArchX86: 1, ir.ArchARM: 0, ir.ArchPPC: 0},
+		{1, 64}: {ir.ArchX86: 1, ir.ArchARM: 0, ir.ArchPPC: 1},
+	}
+	for i := 0; i < b.N; i++ {
+		for in, per := range want {
+			for arch, expect := range per {
+				r, err := ir.Exec(fn, in[:], ir.ExecOptions{Arch: arch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Ret != expect {
+					b.Fatalf("1<<%d on %v = %d, want %d", in[1], arch, r.Ret, expect)
+				}
+			}
+		}
+	}
+}

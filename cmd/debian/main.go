@@ -1,0 +1,81 @@
+// Command debian runs the synthetic-archive sweep that reproduces the
+// paper's §6.4–6.5 evaluation: per-package build/analysis times and
+// query counts (Fig. 16), reports per algorithm (Fig. 17), reports per
+// UB condition (Fig. 18), and the minimal-UB-set size histogram.
+//
+// Usage:
+//
+//	debian [-packages N] [-files N] [-funcs N] [-seed N] [-perf]
+//
+// With -perf it instead runs the three Figure 16 package profiles
+// (Kerberos-, Postgres-, and Linux-sized) and prints the table rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	packages := flag.Int("packages", corpus.DefaultArchive.Packages, "number of packages")
+	files := flag.Int("files", corpus.DefaultArchive.FilesPerPackage, "files per package")
+	funcs := flag.Int("funcs", corpus.DefaultArchive.FuncsPerFile, "functions per file")
+	seed := flag.Int64("seed", corpus.DefaultArchive.Seed, "generator seed")
+	perf := flag.Bool("perf", false, "run the Figure 16 performance profiles")
+	flag.Parse()
+
+	opts := core.Options{
+		Timeout:       5 * time.Second,
+		FilterOrigins: true,
+		MinUBSets:     true,
+		Inline:        true,
+	}
+
+	if *perf {
+		// Three scaled package profiles standing in for Kerberos (705
+		// files), Postgres (770), and the Linux kernel (14,136).
+		profiles := []struct {
+			name string
+			cfg  corpus.ArchiveConfig
+		}{
+			{"kerberos-scale", corpus.ArchiveConfig{Packages: 1, FilesPerPackage: 70, FuncsPerFile: 6, UnstableFraction: 1, Seed: 1}},
+			{"postgres-scale", corpus.ArchiveConfig{Packages: 1, FilesPerPackage: 77, FuncsPerFile: 6, UnstableFraction: 1, Seed: 2}},
+			{"linux-scale", corpus.ArchiveConfig{Packages: 1, FilesPerPackage: 280, FuncsPerFile: 8, UnstableFraction: 1, Seed: 3}},
+		}
+		fmt.Printf("%-16s %12s %14s %8s %10s %10s\n",
+			"package", "build time", "analysis time", "files", "queries", "timeouts")
+		for _, p := range profiles {
+			pkgs := corpus.GenerateArchive(p.cfg)
+			res, err := corpus.Sweep(pkgs, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "debian: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-16s %12v %14v %8d %10d %10d\n",
+				p.name, res.BuildTime.Round(time.Millisecond),
+				res.AnalysisTime.Round(time.Millisecond),
+				res.Files, res.Queries, res.Timeouts)
+		}
+		return
+	}
+
+	cfg := corpus.ArchiveConfig{
+		Packages:         *packages,
+		FilesPerPackage:  *files,
+		FuncsPerFile:     *funcs,
+		UnstableFraction: corpus.DefaultArchive.UnstableFraction,
+		Seed:             *seed,
+	}
+	pkgs := corpus.GenerateArchive(cfg)
+	res, err := corpus.Sweep(pkgs, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "debian: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+}

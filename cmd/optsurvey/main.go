@@ -1,0 +1,37 @@
+// Command optsurvey regenerates the paper's Figure 4: for each of the
+// 16 modeled compiler versions and the 6 canonical unstable-code
+// examples, it runs the real optimizer at increasing -O levels and
+// prints the lowest level at which the sanity check is discarded.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/compilers"
+)
+
+func main() {
+	rows, err := compilers.Survey()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optsurvey: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(compilers.FormatSurvey(rows))
+	// Sanity cross-check against the measured matrix.
+	mismatch := 0
+	for _, m := range compilers.Models {
+		row := rows[m.Name]
+		for i := range compilers.Examples {
+			want := m.FoldLevels[compilers.Examples[i].Opt]
+			if row[i] != want {
+				mismatch++
+			}
+		}
+	}
+	if mismatch > 0 {
+		fmt.Fprintf(os.Stderr, "optsurvey: %d cell(s) deviate from the paper's matrix\n", mismatch)
+		os.Exit(1)
+	}
+	fmt.Println("\nall 96 cells match the paper's Figure 4")
+}

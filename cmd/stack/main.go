@@ -1,0 +1,130 @@
+// Command stack is the checker driver: the analogue of the paper's
+// stack-build workflow (§4.1). It parses C files, builds IR, runs the
+// solver-based unstable-code analysis, and prints bug reports with
+// minimal UB-condition sets and a §6.2 classification.
+//
+// Usage:
+//
+//	stack [flags] file.c...
+//	stack -corpus          # run over the built-in Figure 9 corpus
+//
+// Flags:
+//
+//	-timeout duration   per-query solver timeout (default 5s, as in the paper)
+//	-no-filter          keep reports for macro/inline-generated code
+//	-no-minsets         skip minimal UB-set computation (Fig. 8)
+//	-no-inline          skip function inlining
+//	-classify           print the §6.2 category for each report
+//	-stats              print checker statistics (queries, timeouts)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/compilers"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 5*time.Second, "per-query solver timeout")
+	noFilter := flag.Bool("no-filter", false, "keep reports for macro/inline-generated code")
+	noMinsets := flag.Bool("no-minsets", false, "skip minimal UB-set computation")
+	noInline := flag.Bool("no-inline", false, "skip function inlining")
+	classify := flag.Bool("classify", false, "print report categories (§6.2)")
+	stats := flag.Bool("stats", false, "print checker statistics")
+	runCorpus := flag.Bool("corpus", false, "check the built-in Figure 9 corpus")
+	fwrapv := flag.Bool("fwrapv", false, "assume -fwrapv (signed arithmetic wraps, §7)")
+	fnoStrict := flag.Bool("fno-strict-overflow", false, "assume -fno-strict-overflow (§7)")
+	fnoNull := flag.Bool("fno-delete-null-pointer-checks", false, "assume -fno-delete-null-pointer-checks (§7)")
+	flag.Parse()
+
+	opts := core.Options{
+		Timeout:       *timeout,
+		FilterOrigins: !*noFilter,
+		MinUBSets:     !*noMinsets,
+		Inline:        !*noInline,
+		Flags: core.Flags{
+			WrapV:                     *fwrapv,
+			NoStrictOverflow:          *fnoStrict,
+			NoDeleteNullPointerChecks: *fnoNull,
+		},
+	}
+	checker := core.New(opts)
+	exit := 0
+
+	emit := func(name string, reports []*core.Report) {
+		for _, r := range reports {
+			fmt.Println(r)
+			if *classify {
+				fmt.Printf("  category: %s\n", core.Classify(r, compilers.AnyModelDiscards))
+			}
+		}
+		if len(reports) > 0 {
+			exit = 1
+		}
+	}
+
+	if *runCorpus {
+		total := 0
+		for _, ss := range corpus.GenerateFig9() {
+			reports, err := checkSource(checker, ss.System+".c", ss.Source)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stack: %s: %v\n", ss.System, err)
+				os.Exit(2)
+			}
+			fmt.Printf("=== %s: %d report(s), %d planted bug(s)\n", ss.System, len(reports), len(ss.Bugs))
+			emit(ss.System, reports)
+			total += len(reports)
+		}
+		fmt.Printf("total: %d report(s)\n", total)
+	}
+
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stack: %v\n", err)
+			os.Exit(2)
+		}
+		reports, err := checkSource(checker, path, string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stack: %v\n", err)
+			os.Exit(2)
+		}
+		if len(reports) == 0 {
+			fmt.Printf("%s: no unstable code found\n", path)
+		}
+		emit(path, reports)
+	}
+
+	if *stats {
+		st := checker.Stats()
+		fmt.Printf("functions analyzed: %d\nblocks: %d\nsolver queries: %d\nquery timeouts: %d\n",
+			st.Functions, st.Blocks, st.Queries, st.Timeouts)
+	}
+	if !*runCorpus && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: stack [flags] file.c... (or -corpus); see -h")
+		os.Exit(2)
+	}
+	os.Exit(exit)
+}
+
+func checkSource(checker *core.Checker, name, src string) ([]*core.Report, error) {
+	f, err := cc.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.Check(f); err != nil {
+		return nil, err
+	}
+	p, err := ir.Build(f)
+	if err != nil {
+		return nil, err
+	}
+	return checker.CheckProgram(p), nil
+}

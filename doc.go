@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Towards
+// Optimization-Safe Systems: Analyzing the Impact of Undefined
+// Behavior" (Wang, Zeldovich, Kaashoek, Solar-Lezama; SOSP 2013) —
+// the STACK unstable-code checker, together with every substrate the
+// original system depended on: a C frontend with macro origin
+// tracking, an SSA IR with dominators and inlining, a CDCL SAT solver
+// with a bit-vector layer standing in for Boolector, a UB-exploiting
+// optimizer, and models of the 16 compilers surveyed in the paper.
+//
+// The benchmarks in bench_test.go regenerate every table and figure
+// of the paper's evaluation; see EXPERIMENTS.md for the index.
+package repro

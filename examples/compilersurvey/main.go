@@ -1,0 +1,68 @@
+// Compilersurvey demonstrates unstable code from the optimizer's side
+// (paper §2): it takes the x + 100 < x overflow check, optimizes it
+// under three compiler models (gcc 2.95.3, gcc 4.8.1, clang 3.3) at
+// -O0 and -O2, and then *executes* both the original and the optimized
+// IR on INT_MAX to show the check vanishing — the exact mechanism that
+// turns a time bomb into a vulnerability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/compilers"
+	"repro/internal/ir"
+	"repro/internal/opt"
+)
+
+const src = `
+int guarded_add(int x) {
+	if (x + 100 < x)
+		return -1; /* overflow detected */
+	return x + 100;
+}
+`
+
+func buildFn() *ir.Func {
+	file, err := cc.Parse("guard.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cc.Check(file); err != nil {
+		log.Fatal(err)
+	}
+	prog, err := ir.Build(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prog.Lookup("guarded_add")
+}
+
+func main() {
+	const intMax = 0x7FFFFFFF
+	fmt.Println("int guarded_add(int x) { if (x + 100 < x) return -1; return x + 100; }")
+	fmt.Printf("input: x = INT_MAX (%d)\n\n", int32(intMax))
+
+	fmt.Printf("%-12s %-6s %-28s\n", "compiler", "-O", "guarded_add(INT_MAX)")
+	for _, name := range []string{"gcc-2.95.3", "gcc-4.8.1", "clang-3.3"} {
+		m := compilers.Lookup(name)
+		for _, level := range []int{0, 2} {
+			fn := buildFn()
+			opt.Optimize(fn, m.ConfigAt(level))
+			r, err := ir.Exec(fn, []uint64{intMax}, ir.ExecOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			out := fmt.Sprintf("%d", int32(r.Ret))
+			if int32(r.Ret) == -1 {
+				out += "  (check fired: safe)"
+			} else {
+				out += "  (check GONE: wrapped result escapes)"
+			}
+			fmt.Printf("%-12s -O%-5d %-28s\n", name, level, out)
+		}
+	}
+
+	fmt.Println("\nFull Figure 4 matrix: go run ./cmd/optsurvey")
+}

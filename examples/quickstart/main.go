@@ -1,0 +1,51 @@
+// Quickstart: check a C snippet for unstable code with the public
+// checker pipeline — frontend, IR, solver-based analysis — in a few
+// lines. The snippet is Figure 1 of the paper: the pointer-overflow
+// sanity check that gcc silently deletes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+const src = `
+int parse_header(char *buf, char *buf_end, unsigned int len) {
+	if (buf + len >= buf_end)
+		return -1; /* len too large */
+	if (buf + len < buf)
+		return -1; /* overflow check: compilers delete this */
+	/* ... write to buf[0..len-1] ... */
+	return 0;
+}
+`
+
+func main() {
+	// 1. Frontend: preprocess, parse, and type-check.
+	file, err := cc.Parse("figure1.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cc.Check(file); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Lower to SSA IR (the LLVM-IR analogue).
+	prog, err := ir.Build(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run STACK with the paper's default configuration: 5-second
+	// query timeout, origin filtering, minimal UB sets.
+	checker := core.New(core.DefaultOptions)
+	reports := checker.CheckProgram(prog)
+
+	fmt.Print(core.FormatReports(reports))
+	st := checker.Stats()
+	fmt.Printf("(%d solver queries, %d timeouts)\n", st.Queries, st.Timeouts)
+}

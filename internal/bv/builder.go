@@ -1,0 +1,500 @@
+package bv
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Builder creates hash-consed terms. All terms combined in one
+// expression must come from the same Builder. The zero value is not
+// usable; call NewBuilder.
+type Builder struct {
+	table  map[key]*Term
+	consts map[constKey]*Term
+	vars   map[string]*Term
+	nextID int
+	// Stats
+	TermsCreated int
+	CacheHits    int
+}
+
+type key struct {
+	op         Op
+	width, lo  int
+	a0, a1, a2 int // arg IDs; -1 if absent
+}
+
+type constKey struct {
+	width int
+	val   string // big.Int text; exact
+}
+
+// NewBuilder returns an empty term builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		table:  make(map[key]*Term),
+		consts: make(map[constKey]*Term),
+		vars:   make(map[string]*Term),
+	}
+}
+
+func (b *Builder) intern(t *Term) *Term {
+	k := key{op: t.op, width: t.width, lo: t.lo, a0: -1, a1: -1, a2: -1}
+	if len(t.args) > 0 {
+		k.a0 = t.args[0].id
+	}
+	if len(t.args) > 1 {
+		k.a1 = t.args[1].id
+	}
+	if len(t.args) > 2 {
+		k.a2 = t.args[2].id
+	}
+	if ex, ok := b.table[k]; ok {
+		b.CacheHits++
+		return ex
+	}
+	t.id = b.nextID
+	b.nextID++
+	b.TermsCreated++
+	b.table[k] = t
+	return t
+}
+
+func mask(width int) *big.Int {
+	m := big.NewInt(1)
+	m.Lsh(m, uint(width))
+	return m.Sub(m, big.NewInt(1))
+}
+
+// Const returns the constant v (interpreted modulo 2^width) of the
+// given width.
+func (b *Builder) Const(v *big.Int, width int) *Term {
+	if width <= 0 {
+		panic("bv: nonpositive width")
+	}
+	norm := new(big.Int).And(new(big.Int).Set(v), mask(width))
+	if norm.Sign() < 0 { // big.Int.And of negative handled above; belt+braces
+		norm.Add(norm, new(big.Int).Lsh(big.NewInt(1), uint(width)))
+	}
+	ck := constKey{width, norm.Text(16)}
+	if ex, ok := b.consts[ck]; ok {
+		b.CacheHits++
+		return ex
+	}
+	t := &Term{op: OpConst, width: width, val: norm, id: b.nextID}
+	b.nextID++
+	b.TermsCreated++
+	b.consts[ck] = t
+	return t
+}
+
+// ConstInt64 is Const for int64 values (two's complement for negatives).
+func (b *Builder) ConstInt64(v int64, width int) *Term {
+	return b.Const(big.NewInt(v), width)
+}
+
+// Bool returns the 1-bit constant for v.
+func (b *Builder) Bool(v bool) *Term {
+	if v {
+		return b.ConstInt64(1, 1)
+	}
+	return b.ConstInt64(0, 1)
+}
+
+// Var returns the free variable with the given name and width,
+// creating it on first use. Width mismatch on reuse panics: it is
+// always a caller bug.
+func (b *Builder) Var(name string, width int) *Term {
+	if t, ok := b.vars[name]; ok {
+		if t.width != width {
+			panic(fmt.Sprintf("bv: variable %q redeclared with width %d (was %d)", name, width, t.width))
+		}
+		return t
+	}
+	t := &Term{op: OpVar, width: width, name: name, id: b.nextID}
+	b.nextID++
+	b.TermsCreated++
+	b.vars[name] = t
+	return t
+}
+
+func (b *Builder) binary(op Op, x, y *Term) *Term {
+	if x.width != y.width {
+		panic(fmt.Sprintf("bv: width mismatch %d vs %d in %v", x.width, y.width, op))
+	}
+	w := x.width
+	if op == OpEq || op == OpULT || op == OpULE || op == OpSLT || op == OpSLE {
+		w = 1
+	}
+	if t := b.foldBinary(op, x, y, w); t != nil {
+		return t
+	}
+	return b.intern(&Term{op: op, width: w, args: []*Term{x, y}})
+}
+
+// --- Public constructors -------------------------------------------------
+
+// Not returns bitwise complement.
+func (b *Builder) Not(x *Term) *Term {
+	if x.op == OpConst {
+		v := new(big.Int).Xor(x.val, mask(x.width))
+		return b.Const(v, x.width)
+	}
+	if x.op == OpNot {
+		return x.args[0] // ¬¬x = x
+	}
+	return b.intern(&Term{op: OpNot, width: x.width, args: []*Term{x}})
+}
+
+// Neg returns two's-complement negation.
+func (b *Builder) Neg(x *Term) *Term {
+	if x.op == OpConst {
+		return b.Const(new(big.Int).Neg(x.val), x.width)
+	}
+	return b.intern(&Term{op: OpNeg, width: x.width, args: []*Term{x}})
+}
+
+// And, Or, Xor are bitwise; on width-1 terms they double as the boolean
+// connectives.
+func (b *Builder) And(x, y *Term) *Term { return b.binary(OpAnd, x, y) }
+func (b *Builder) Or(x, y *Term) *Term  { return b.binary(OpOr, x, y) }
+func (b *Builder) Xor(x, y *Term) *Term { return b.binary(OpXor, x, y) }
+
+// Add, Sub, Mul are modular arithmetic.
+func (b *Builder) Add(x, y *Term) *Term { return b.binary(OpAdd, x, y) }
+func (b *Builder) Sub(x, y *Term) *Term { return b.binary(OpSub, x, y) }
+func (b *Builder) Mul(x, y *Term) *Term { return b.binary(OpMul, x, y) }
+
+// UDiv and URem follow SMT-LIB totalization: x/0 = 2^w-1, x%0 = x.
+func (b *Builder) UDiv(x, y *Term) *Term { return b.binary(OpUDiv, x, y) }
+func (b *Builder) URem(x, y *Term) *Term { return b.binary(OpURem, x, y) }
+
+// SDiv and SRem are signed division truncating toward zero.
+func (b *Builder) SDiv(x, y *Term) *Term { return b.binary(OpSDiv, x, y) }
+func (b *Builder) SRem(x, y *Term) *Term { return b.binary(OpSRem, x, y) }
+
+// Shl, LShr, AShr shift by the unsigned value of y.
+func (b *Builder) Shl(x, y *Term) *Term  { return b.binary(OpShl, x, y) }
+func (b *Builder) LShr(x, y *Term) *Term { return b.binary(OpLShr, x, y) }
+func (b *Builder) AShr(x, y *Term) *Term { return b.binary(OpAShr, x, y) }
+
+// Eq returns the width-1 equality predicate.
+func (b *Builder) Eq(x, y *Term) *Term { return b.binary(OpEq, x, y) }
+
+// Ne is ¬(x = y).
+func (b *Builder) Ne(x, y *Term) *Term { return b.Not(b.Eq(x, y)) }
+
+// ULT/ULE/UGT/UGE are unsigned comparisons; SLT/SLE/SGT/SGE signed.
+func (b *Builder) ULT(x, y *Term) *Term { return b.binary(OpULT, x, y) }
+func (b *Builder) ULE(x, y *Term) *Term { return b.binary(OpULE, x, y) }
+func (b *Builder) UGT(x, y *Term) *Term { return b.binary(OpULT, y, x) }
+func (b *Builder) UGE(x, y *Term) *Term { return b.binary(OpULE, y, x) }
+func (b *Builder) SLT(x, y *Term) *Term { return b.binary(OpSLT, x, y) }
+func (b *Builder) SLE(x, y *Term) *Term { return b.binary(OpSLE, x, y) }
+func (b *Builder) SGT(x, y *Term) *Term { return b.binary(OpSLT, y, x) }
+func (b *Builder) SGE(x, y *Term) *Term { return b.binary(OpSLE, y, x) }
+
+// ITE returns if-then-else; cond must have width 1, x and y equal widths.
+func (b *Builder) ITE(cond, x, y *Term) *Term {
+	if cond.width != 1 {
+		panic("bv: ITE condition must have width 1")
+	}
+	if x.width != y.width {
+		panic("bv: ITE arm width mismatch")
+	}
+	if cond.op == OpConst {
+		if cond.val.Sign() != 0 {
+			return x
+		}
+		return y
+	}
+	if x == y {
+		return x
+	}
+	return b.intern(&Term{op: OpITE, width: x.width, args: []*Term{cond, x, y}})
+}
+
+// ZExt zero-extends x to width w (w ≥ x.Width()).
+func (b *Builder) ZExt(x *Term, w int) *Term {
+	if w < x.width {
+		panic("bv: ZExt narrows")
+	}
+	if w == x.width {
+		return x
+	}
+	if x.op == OpConst {
+		return b.Const(x.val, w)
+	}
+	return b.intern(&Term{op: OpZExt, width: w, args: []*Term{x}})
+}
+
+// SExt sign-extends x to width w.
+func (b *Builder) SExt(x *Term, w int) *Term {
+	if w < x.width {
+		panic("bv: SExt narrows")
+	}
+	if w == x.width {
+		return x
+	}
+	if x.op == OpConst {
+		v := new(big.Int).Set(x.val)
+		if v.Bit(x.width-1) == 1 {
+			v.Sub(v, new(big.Int).Lsh(big.NewInt(1), uint(x.width)))
+		}
+		return b.Const(v, w)
+	}
+	return b.intern(&Term{op: OpSExt, width: w, args: []*Term{x}})
+}
+
+// Extract returns bits [lo, hi] of x (inclusive, hi ≥ lo).
+func (b *Builder) Extract(x *Term, hi, lo int) *Term {
+	if lo < 0 || hi >= x.width || hi < lo {
+		panic(fmt.Sprintf("bv: bad extract [%d:%d] of width %d", hi, lo, x.width))
+	}
+	w := hi - lo + 1
+	if w == x.width {
+		return x
+	}
+	if x.op == OpConst {
+		v := new(big.Int).Rsh(x.val, uint(lo))
+		return b.Const(v, w)
+	}
+	return b.intern(&Term{op: OpExtract, width: w, lo: lo, args: []*Term{x}})
+}
+
+// Concat returns hi ++ lo (hi occupies the most significant bits).
+func (b *Builder) Concat(hi, lo *Term) *Term {
+	if hi.op == OpConst && lo.op == OpConst {
+		v := new(big.Int).Lsh(hi.val, uint(lo.width))
+		v.Or(v, lo.val)
+		return b.Const(v, hi.width+lo.width)
+	}
+	return b.intern(&Term{op: OpConcat, width: hi.width + lo.width, args: []*Term{hi, lo}})
+}
+
+// Implies returns ¬x ∨ y for width-1 terms.
+func (b *Builder) Implies(x, y *Term) *Term { return b.Or(b.Not(x), y) }
+
+// Truncate returns the low w bits of x.
+func (b *Builder) Truncate(x *Term, w int) *Term { return b.Extract(x, w-1, 0) }
+
+// AndN folds And over a list; the empty conjunction is true.
+func (b *Builder) AndN(ts ...*Term) *Term {
+	acc := b.Bool(true)
+	for _, t := range ts {
+		acc = b.And(acc, t)
+	}
+	return acc
+}
+
+// OrN folds Or over a list; the empty disjunction is false.
+func (b *Builder) OrN(ts ...*Term) *Term {
+	acc := b.Bool(false)
+	for _, t := range ts {
+		acc = b.Or(acc, t)
+	}
+	return acc
+}
+
+// --- Constant folding -----------------------------------------------------
+
+func toSigned(v *big.Int, width int) *big.Int {
+	r := new(big.Int).Set(v)
+	if r.Bit(width-1) == 1 {
+		r.Sub(r, new(big.Int).Lsh(big.NewInt(1), uint(width)))
+	}
+	return r
+}
+
+// foldBinary returns a folded/simplified term or nil.
+func (b *Builder) foldBinary(op Op, x, y *Term, resW int) *Term {
+	cx, cy := x.op == OpConst, y.op == OpConst
+	if cx && cy {
+		return b.evalConstBinary(op, x, y, resW)
+	}
+	// Algebraic identities on one constant operand.
+	switch op {
+	case OpAnd:
+		if cx {
+			x, y, cx, cy = y, x, cy, cx
+		}
+		if cy {
+			if y.val.Sign() == 0 {
+				return y // x & 0 = 0
+			}
+			if y.val.Cmp(mask(y.width)) == 0 {
+				return x // x & ~0 = x
+			}
+		}
+		if x == y {
+			return x
+		}
+	case OpOr:
+		if cx {
+			x, y, cx, cy = y, x, cy, cx
+		}
+		if cy {
+			if y.val.Sign() == 0 {
+				return x // x | 0 = x
+			}
+			if y.val.Cmp(mask(y.width)) == 0 {
+				return y // x | ~0 = ~0
+			}
+		}
+		if x == y {
+			return x
+		}
+	case OpXor:
+		if x == y {
+			return b.Const(big.NewInt(0), x.width)
+		}
+		if cy && y.val.Sign() == 0 {
+			return x
+		}
+		if cx && x.val.Sign() == 0 {
+			return y
+		}
+	case OpAdd:
+		if cy && y.val.Sign() == 0 {
+			return x
+		}
+		if cx && x.val.Sign() == 0 {
+			return y
+		}
+	case OpSub:
+		if cy && y.val.Sign() == 0 {
+			return x
+		}
+		if x == y {
+			return b.Const(big.NewInt(0), x.width)
+		}
+	case OpMul:
+		if cy {
+			if y.val.Sign() == 0 {
+				return y
+			}
+			if y.val.Cmp(big.NewInt(1)) == 0 {
+				return x
+			}
+		}
+		if cx {
+			if x.val.Sign() == 0 {
+				return x
+			}
+			if x.val.Cmp(big.NewInt(1)) == 0 {
+				return y
+			}
+		}
+	case OpShl, OpLShr, OpAShr:
+		if cy && y.val.Sign() == 0 {
+			return x
+		}
+	case OpEq:
+		if x == y {
+			return b.Bool(true)
+		}
+	case OpULE:
+		if x == y {
+			return b.Bool(true)
+		}
+		if cx && x.val.Sign() == 0 {
+			return b.Bool(true) // 0 <=u y
+		}
+	case OpULT:
+		if x == y {
+			return b.Bool(false)
+		}
+		if cy && y.val.Sign() == 0 {
+			return b.Bool(false) // x <u 0
+		}
+	case OpSLE:
+		if x == y {
+			return b.Bool(true)
+		}
+	case OpSLT:
+		if x == y {
+			return b.Bool(false)
+		}
+	}
+	return nil
+}
+
+func (b *Builder) evalConstBinary(op Op, x, y *Term, resW int) *Term {
+	w := x.width
+	xv, yv := x.val, y.val
+	boolT := func(v bool) *Term { return b.Bool(v) }
+	switch op {
+	case OpAnd:
+		return b.Const(new(big.Int).And(xv, yv), w)
+	case OpOr:
+		return b.Const(new(big.Int).Or(xv, yv), w)
+	case OpXor:
+		return b.Const(new(big.Int).Xor(xv, yv), w)
+	case OpAdd:
+		return b.Const(new(big.Int).Add(xv, yv), w)
+	case OpSub:
+		return b.Const(new(big.Int).Sub(xv, yv), w)
+	case OpMul:
+		return b.Const(new(big.Int).Mul(xv, yv), w)
+	case OpUDiv:
+		if yv.Sign() == 0 {
+			return b.Const(mask(w), w)
+		}
+		return b.Const(new(big.Int).Div(xv, yv), w)
+	case OpURem:
+		if yv.Sign() == 0 {
+			return b.Const(xv, w)
+		}
+		return b.Const(new(big.Int).Mod(xv, yv), w)
+	case OpSDiv:
+		xs, ys := toSigned(xv, w), toSigned(yv, w)
+		if ys.Sign() == 0 {
+			// SMT-LIB: bvsdiv by zero yields 1 if x negative else all-ones.
+			if xs.Sign() < 0 {
+				return b.Const(big.NewInt(1), w)
+			}
+			return b.Const(mask(w), w)
+		}
+		return b.Const(new(big.Int).Quo(xs, ys), w)
+	case OpSRem:
+		xs, ys := toSigned(xv, w), toSigned(yv, w)
+		if ys.Sign() == 0 {
+			return b.Const(xs, w)
+		}
+		return b.Const(new(big.Int).Rem(xs, ys), w)
+	case OpShl:
+		if yv.Cmp(big.NewInt(int64(w))) >= 0 {
+			return b.Const(big.NewInt(0), w)
+		}
+		return b.Const(new(big.Int).Lsh(xv, uint(yv.Uint64())), w)
+	case OpLShr:
+		if yv.Cmp(big.NewInt(int64(w))) >= 0 {
+			return b.Const(big.NewInt(0), w)
+		}
+		return b.Const(new(big.Int).Rsh(xv, uint(yv.Uint64())), w)
+	case OpAShr:
+		xs := toSigned(xv, w)
+		sh := uint(w)
+		if yv.Cmp(big.NewInt(int64(w))) < 0 {
+			sh = uint(yv.Uint64())
+		}
+		if sh >= uint(w) {
+			if xs.Sign() < 0 {
+				return b.Const(mask(w), w)
+			}
+			return b.Const(big.NewInt(0), w)
+		}
+		return b.Const(new(big.Int).Rsh(xs, sh), w)
+	case OpEq:
+		return boolT(xv.Cmp(yv) == 0)
+	case OpULT:
+		return boolT(xv.Cmp(yv) < 0)
+	case OpULE:
+		return boolT(xv.Cmp(yv) <= 0)
+	case OpSLT:
+		return boolT(toSigned(xv, w).Cmp(toSigned(yv, w)) < 0)
+	case OpSLE:
+		return boolT(toSigned(xv, w).Cmp(toSigned(yv, w)) <= 0)
+	}
+	panic(fmt.Sprintf("bv: evalConstBinary: unexpected op %v (result width %d)", op, resW))
+}

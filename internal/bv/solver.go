@@ -1,0 +1,169 @@
+package bv
+
+import (
+	"math/big"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// Result is the verdict of a satisfiability query.
+type Result int
+
+// Query verdicts.
+const (
+	Unknown Result = iota // solver timed out or exhausted its budget
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Solver decides satisfiability of width-1 terms by bit-blasting into
+// a CDCL SAT solver. A Solver accumulates the blasted formula across
+// calls; terms from the same Builder share structure, so incremental
+// use is cheap. It intentionally mirrors the slice of the Boolector
+// API that STACK used: assert, solve-under-assumptions, model values,
+// failed assumptions, and a per-query timeout.
+type Solver struct {
+	bld *Builder
+	sat *sat.Solver
+	bl  *blaster
+	// Timeout bounds each Solve call; zero means no deadline. STACK's
+	// evaluation (paper §6.4) used 5 seconds.
+	Timeout time.Duration
+	// MaxConflicts optionally bounds solver effort deterministically
+	// (useful in tests and benchmarks); zero means unbounded.
+	MaxConflicts int64
+	// Queries counts Solve calls; Timeouts counts Unknown verdicts.
+	Queries  int64
+	Timeouts int64
+
+	assumed map[*Term]sat.Lit // activation literal per assumed term
+}
+
+// NewSolver returns a solver for terms created by bld.
+func NewSolver(bld *Builder) *Solver {
+	s := sat.New()
+	return &Solver{
+		bld:     bld,
+		sat:     s,
+		bl:      newBlaster(s),
+		assumed: make(map[*Term]sat.Lit),
+	}
+}
+
+// Builder returns the term builder this solver is bound to.
+func (s *Solver) Builder() *Builder { return s.bld }
+
+// litFor blasts a width-1 term and returns its literal.
+func (s *Solver) litFor(t *Term) sat.Lit {
+	if t.Width() != 1 {
+		panic("bv: satisfiability query on non-boolean term")
+	}
+	return s.bl.blast(s.bld, t)[0]
+}
+
+// Assert permanently constrains t (width 1) to be true.
+func (s *Solver) Assert(t *Term) {
+	s.sat.AddClause(s.litFor(t))
+}
+
+// Solve decides whether the permanent assertions plus all assumption
+// terms are jointly satisfiable. Assumptions are not retained across
+// calls.
+func (s *Solver) Solve(assumptions ...*Term) Result {
+	s.Queries++
+	lits := make([]sat.Lit, 0, len(assumptions))
+	for _, t := range assumptions {
+		lits = append(lits, s.litFor(t))
+	}
+	if s.Timeout > 0 {
+		s.sat.Deadline = time.Now().Add(s.Timeout)
+	} else {
+		s.sat.Deadline = time.Time{}
+	}
+	s.sat.MaxConflicts = s.MaxConflicts
+	switch s.sat.Solve(lits...) {
+	case sat.Sat:
+		return Sat
+	case sat.Unsat:
+		return Unsat
+	default:
+		s.Timeouts++
+		return Unknown
+	}
+}
+
+// Value returns the value of term t under the model of the last Sat
+// verdict. Calling it in any other state is a caller bug.
+func (s *Solver) Value(t *Term) *big.Int {
+	lits := s.bl.blast(s.bld, t)
+	v := new(big.Int)
+	for i, l := range lits {
+		bit := s.sat.ModelValue(l.Var())
+		if l.Neg() {
+			bit = !bit
+		}
+		if bit {
+			v.SetBit(v, i, 1)
+		}
+	}
+	return v
+}
+
+// ValueBool returns the boolean model value of a width-1 term.
+func (s *Solver) ValueBool(t *Term) bool {
+	return s.Value(t).Sign() != 0
+}
+
+// SolveCore is Solve plus, on Unsat, the subset of assumption indices
+// that were sufficient for the conflict (a non-minimal unsat core). It
+// is the primitive STACK's minimal-UB-set masking loop builds on.
+func (s *Solver) SolveCore(assumptions ...*Term) (Result, []int) {
+	s.Queries++
+	lits := make([]sat.Lit, len(assumptions))
+	for i, t := range assumptions {
+		lits[i] = s.litFor(t)
+	}
+	if s.Timeout > 0 {
+		s.sat.Deadline = time.Now().Add(s.Timeout)
+	} else {
+		s.sat.Deadline = time.Time{}
+	}
+	s.sat.MaxConflicts = s.MaxConflicts
+	switch s.sat.Solve(lits...) {
+	case sat.Sat:
+		return Sat, nil
+	case sat.Unsat:
+		failed := s.sat.FailedAssumptions()
+		inCore := make(map[sat.Lit]bool, len(failed))
+		for _, l := range failed {
+			inCore[l] = true
+		}
+		var idx []int
+		for i, l := range lits {
+			if inCore[l] {
+				idx = append(idx, i)
+			}
+		}
+		return Unsat, idx
+	default:
+		s.Timeouts++
+		return Unknown, nil
+	}
+}
+
+// Stats reports sizes of the underlying SAT instance.
+func (s *Solver) Stats() (vars, clauses int) {
+	return s.sat.NumVars(), s.sat.NumClauses()
+}

@@ -1,0 +1,162 @@
+// Package bv implements a quantifier-free bit-vector (QF_BV) constraint
+// solver in the style of Boolector [Brummayer & Biere 2009], which the
+// STACK paper used to decide its elimination and simplification queries.
+//
+// Terms form a hash-consed DAG built through a Builder. Satisfiability
+// of a boolean term (width 1) is decided by Tseitin bit-blasting to CNF
+// and handing the clauses to the CDCL solver in internal/sat. The
+// solver supports solving under assumptions — the mechanism STACK's
+// minimal-UB-condition algorithm (paper Fig. 8) relies on — and
+// per-query deadlines matching the paper's 5-second query timeout.
+package bv
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Op enumerates bit-vector operations.
+type Op uint8
+
+// Term operations. Width rules follow SMT-LIB QF_BV.
+const (
+	OpConst Op = iota // constant, value in Term.val
+	OpVar             // free variable, name in Term.name
+
+	// Bitwise.
+	OpNot
+	OpAnd
+	OpOr
+	OpXor
+
+	// Arithmetic (two's complement).
+	OpNeg
+	OpAdd
+	OpSub
+	OpMul
+	OpUDiv // unsigned division; x/0 = all-ones (SMT-LIB)
+	OpURem // unsigned remainder; x%0 = x (SMT-LIB)
+	OpSDiv
+	OpSRem
+
+	// Shifts. The shift amount is the full value of the second operand.
+	OpShl
+	OpLShr
+	OpAShr
+
+	// Comparisons (result width 1).
+	OpEq
+	OpULT
+	OpULE
+	OpSLT
+	OpSLE
+
+	// Structural.
+	OpITE     // ite(cond₁, a, b)
+	OpZExt    // zero-extend to Term.width
+	OpSExt    // sign-extend to Term.width
+	OpExtract // bits [lo, lo+width) of operand; lo in Term.lo
+	OpConcat  // hi ++ lo
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpVar: "var", OpNot: "bvnot", OpAnd: "bvand",
+	OpOr: "bvor", OpXor: "bvxor", OpNeg: "bvneg", OpAdd: "bvadd",
+	OpSub: "bvsub", OpMul: "bvmul", OpUDiv: "bvudiv", OpURem: "bvurem",
+	OpSDiv: "bvsdiv", OpSRem: "bvsrem", OpShl: "bvshl", OpLShr: "bvlshr",
+	OpAShr: "bvashr", OpEq: "=", OpULT: "bvult", OpULE: "bvule",
+	OpSLT: "bvslt", OpSLE: "bvsle", OpITE: "ite", OpZExt: "zero_extend",
+	OpSExt: "sign_extend", OpExtract: "extract", OpConcat: "concat",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Term is a node in the hash-consed term DAG. Terms are immutable and
+// must be created through a Builder; pointer equality is semantic
+// equality of the construction.
+type Term struct {
+	op    Op
+	width int
+	args  []*Term
+	val   *big.Int // OpConst only; normalized to [0, 2^width)
+	name  string   // OpVar only
+	lo    int      // OpExtract only
+	id    int      // unique per Builder, for deterministic maps
+}
+
+// Op returns the term's operation.
+func (t *Term) Op() Op { return t.op }
+
+// Width returns the bit width of the term. Boolean terms have width 1.
+func (t *Term) Width() int { return t.width }
+
+// Args returns the operand terms. Callers must not modify the slice.
+func (t *Term) Args() []*Term { return t.args }
+
+// Name returns the variable name of an OpVar term.
+func (t *Term) Name() string { return t.name }
+
+// ID returns a builder-unique identifier, usable as a map key proxy.
+func (t *Term) ID() int { return t.id }
+
+// ConstValue returns the value of an OpConst term (nil otherwise).
+func (t *Term) ConstValue() *big.Int {
+	if t.op != OpConst {
+		return nil
+	}
+	return new(big.Int).Set(t.val)
+}
+
+// IsConstBool reports whether t is the constant 1-bit value b.
+func (t *Term) IsConstBool(b bool) bool {
+	if t.op != OpConst || t.width != 1 {
+		return false
+	}
+	return (t.val.Sign() != 0) == b
+}
+
+// String renders the term in an SMT-LIB-like prefix syntax, useful in
+// bug reports and debugging. Shared subterms are re-rendered (the
+// output is a tree view of the DAG).
+func (t *Term) String() string {
+	var b strings.Builder
+	t.render(&b, 0)
+	return b.String()
+}
+
+const maxRenderDepth = 64
+
+func (t *Term) render(b *strings.Builder, depth int) {
+	if depth > maxRenderDepth {
+		b.WriteString("...")
+		return
+	}
+	switch t.op {
+	case OpConst:
+		fmt.Fprintf(b, "#x%0*x", (t.width+3)/4, t.val)
+	case OpVar:
+		b.WriteString(t.name)
+	case OpExtract:
+		fmt.Fprintf(b, "((_ extract %d %d) ", t.lo+t.width-1, t.lo)
+		t.args[0].render(b, depth+1)
+		b.WriteByte(')')
+	case OpZExt, OpSExt:
+		fmt.Fprintf(b, "((_ %s %d) ", t.op, t.width-t.args[0].width)
+		t.args[0].render(b, depth+1)
+		b.WriteByte(')')
+	default:
+		b.WriteByte('(')
+		b.WriteString(t.op.String())
+		for _, a := range t.args {
+			b.WriteByte(' ')
+			a.render(b, depth+1)
+		}
+		b.WriteByte(')')
+	}
+}

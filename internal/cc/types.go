@@ -1,0 +1,245 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies C types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeVoid TypeKind = iota
+	TypeInt           // integer of some width/signedness (incl. char, _Bool-free subset)
+	TypePointer
+	TypeArray
+	TypeStruct
+	TypeFunc
+)
+
+// Type describes a C type. Types are structural; compare with Same.
+type Type struct {
+	Kind     TypeKind
+	Width    int   // TypeInt: bits
+	Signed   bool  // TypeInt
+	Elem     *Type // TypePointer, TypeArray
+	ArrayLen int   // TypeArray
+	// TypeStruct
+	StructName string
+	Fields     []Field
+	// TypeFunc
+	Ret    *Type
+	Params []*Type
+}
+
+// Field is a struct member.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// PointerWidth is the width of pointers in the target model; the
+// paper's examples and the C* dialect (§3.1) assume a flat 64-bit
+// address space.
+const PointerWidth = 64
+
+// Builtin integer types.
+var (
+	Void   = &Type{Kind: TypeVoid}
+	Bool_  = &Type{Kind: TypeInt, Width: 1, Signed: false}
+	Char   = &Type{Kind: TypeInt, Width: 8, Signed: true}
+	UChar  = &Type{Kind: TypeInt, Width: 8, Signed: false}
+	Short  = &Type{Kind: TypeInt, Width: 16, Signed: true}
+	UShort = &Type{Kind: TypeInt, Width: 16, Signed: false}
+	Int    = &Type{Kind: TypeInt, Width: 32, Signed: true}
+	UInt   = &Type{Kind: TypeInt, Width: 32, Signed: false}
+	Long   = &Type{Kind: TypeInt, Width: 64, Signed: true}
+	ULong  = &Type{Kind: TypeInt, Width: 64, Signed: false}
+)
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: TypePointer, Elem: elem} }
+
+// ArrayOf returns an array type.
+func ArrayOf(elem *Type, n int) *Type {
+	return &Type{Kind: TypeArray, Elem: elem, ArrayLen: n}
+}
+
+// IsInteger reports whether t is an integer type.
+func (t *Type) IsInteger() bool { return t != nil && t.Kind == TypeInt }
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t != nil && t.Kind == TypePointer }
+
+// IsArithmetic reports integer (this subset has no floating point).
+func (t *Type) IsArithmetic() bool { return t.IsInteger() }
+
+// IsScalar reports integer or pointer.
+func (t *Type) IsScalar() bool { return t.IsInteger() || t.IsPointer() }
+
+// BitWidth returns the width in bits as used by the IR: pointers have
+// PointerWidth, integers their own width.
+func (t *Type) BitWidth() int {
+	switch t.Kind {
+	case TypeInt:
+		return t.Width
+	case TypePointer:
+		return PointerWidth
+	}
+	panic(fmt.Sprintf("cc: BitWidth of non-scalar %v", t))
+}
+
+// SizeBytes returns the size of the type in bytes for pointer
+// arithmetic scaling and sizeof.
+func (t *Type) SizeBytes() int {
+	switch t.Kind {
+	case TypeVoid:
+		return 1 // GNU-style: sizeof(void) == 1, void* arithmetic scales by 1
+	case TypeInt:
+		w := t.Width / 8
+		if w == 0 {
+			w = 1
+		}
+		return w
+	case TypePointer:
+		return PointerWidth / 8
+	case TypeArray:
+		return t.ArrayLen * t.Elem.SizeBytes()
+	case TypeStruct:
+		n := 0
+		for _, f := range t.Fields {
+			n += f.Type.SizeBytes()
+		}
+		if n == 0 {
+			n = 1
+		}
+		return n
+	}
+	panic(fmt.Sprintf("cc: SizeBytes of %v", t))
+}
+
+// FieldOffset returns the byte offset of the named field and its type.
+func (t *Type) FieldOffset(name string) (int, *Type, bool) {
+	off := 0
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return off, f.Type, true
+		}
+		off += f.Type.SizeBytes()
+	}
+	return 0, nil, false
+}
+
+// Same reports structural type equality.
+func (t *Type) Same(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypeVoid:
+		return true
+	case TypeInt:
+		return t.Width == u.Width && t.Signed == u.Signed
+	case TypePointer:
+		return t.Elem.Same(u.Elem)
+	case TypeArray:
+		return t.ArrayLen == u.ArrayLen && t.Elem.Same(u.Elem)
+	case TypeStruct:
+		return t.StructName == u.StructName
+	case TypeFunc:
+		if !t.Ret.Same(u.Ret) || len(t.Params) != len(u.Params) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Same(u.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		sign := ""
+		if !t.Signed {
+			sign = "unsigned "
+		}
+		switch t.Width {
+		case 1:
+			return "_Bool"
+		case 8:
+			if t.Signed {
+				return "char"
+			}
+			return "unsigned char"
+		case 16:
+			return sign + "short"
+		case 32:
+			return sign + "int"
+		case 64:
+			return sign + "long"
+		}
+		return fmt.Sprintf("%sint%d", sign, t.Width)
+	case TypePointer:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrayLen)
+	case TypeStruct:
+		return "struct " + t.StructName
+	case TypeFunc:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.String())
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(ps, ", "))
+	}
+	return "?"
+}
+
+// Promote applies the C integer promotions: integer types narrower
+// than int are converted to int.
+func Promote(t *Type) *Type {
+	if t.IsInteger() && t.Width < 32 {
+		return Int
+	}
+	return t
+}
+
+// UsualArithmeticConversions returns the common type of a binary
+// arithmetic operation per C11 §6.3.1.8 (integer-only subset).
+func UsualArithmeticConversions(a, b *Type) *Type {
+	a, b = Promote(a), Promote(b)
+	if a.Same(b) {
+		return a
+	}
+	if a.Signed == b.Signed {
+		if a.Width >= b.Width {
+			return a
+		}
+		return b
+	}
+	u, s := a, b
+	if b.Signed == false {
+		u, s = b, a
+	}
+	if u.Width >= s.Width {
+		return u
+	}
+	// Signed type can represent all values of the unsigned type.
+	if s.Width > u.Width {
+		return s
+	}
+	return &Type{Kind: TypeInt, Width: s.Width, Signed: false}
+}

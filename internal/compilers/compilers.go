@@ -1,0 +1,287 @@
+// Package compilers models the 16 compiler versions surveyed in the
+// paper's §2.3/Figure 4: which undefined-behavior-exploiting
+// optimizations each performs, and at which -O level they kick in.
+// The optimizations themselves are real IR transformations implemented
+// in internal/opt; this package only encodes the per-compiler
+// enablement matrix measured by the paper, and provides the harness
+// that regenerates Figure 4 by actually optimizing the six canonical
+// unstable-code examples.
+package compilers
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+)
+
+// Model describes one compiler version's UB-exploiting behavior:
+// FoldLevels[o] is the lowest optimization level at which it performs
+// optimization o, or -1 if it never does.
+type Model struct {
+	Name       string
+	FoldLevels [opt.NumUBOpts]int
+}
+
+// ConfigAt returns the optimizer configuration for -On.
+func (m *Model) ConfigAt(level int) opt.Config {
+	var cfg opt.Config
+	for i, l := range m.FoldLevels {
+		cfg.Enabled[i] = l >= 0 && l <= level
+	}
+	return cfg
+}
+
+// Discards reports whether the model ever performs optimization o.
+func (m *Model) Discards(o opt.UBOpt) bool { return m.FoldLevels[o] >= 0 }
+
+// lv is shorthand for building FoldLevels rows; -1 means never.
+func lv(ptr, null, signed, vrp, shift, abs int) [opt.NumUBOpts]int {
+	return [opt.NumUBOpts]int{ptr, null, signed, vrp, shift, abs}
+}
+
+// Models is the Figure 4 matrix: 16 compiler versions and the lowest
+// -On at which each discards each of the six example checks.
+var Models = []*Model{
+	{"gcc-2.95.3", lv(-1, -1, 1, -1, -1, -1)},
+	{"gcc-3.4.6", lv(-1, 2, 1, -1, -1, -1)},
+	{"gcc-4.2.1", lv(0, -1, 2, -1, -1, 2)},
+	{"gcc-4.8.1", lv(2, 2, 2, 2, -1, 2)},
+	{"clang-1.0", lv(1, -1, -1, -1, -1, -1)},
+	{"clang-3.3", lv(1, -1, 1, -1, 1, -1)},
+	{"aCC-6.25", lv(-1, -1, -1, -1, -1, 3)},
+	{"armcc-5.02", lv(-1, -1, 2, -1, -1, -1)},
+	{"icc-14.0.0", lv(-1, 2, 1, 2, -1, -1)},
+	{"msvc-11.0", lv(-1, 1, -1, -1, -1, -1)},
+	{"open64-4.5.2", lv(1, -1, 2, -1, -1, 2)},
+	{"pathcc-1.0.0", lv(1, -1, 2, -1, -1, 2)},
+	{"suncc-5.12", lv(-1, 3, -1, -1, -1, -1)},
+	{"ti-7.4.2", lv(0, -1, 0, 2, -1, -1)},
+	{"windriver-5.9.2", lv(-1, -1, 0, -1, -1, -1)},
+	{"xlc-12.1", lv(3, -1, -1, -1, -1, -1)},
+}
+
+// Lookup returns the model with the given name, or nil.
+func Lookup(name string) *Model {
+	for _, m := range Models {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// NumExamples is the number of Figure 4 columns.
+const NumExamples = 6
+
+// Examples are the six unstable-code checks of Figure 4's columns, as
+// complete functions. Each returns 1 exactly when its sanity check
+// fires; a compiler that discards the check removes every path
+// returning 1.
+var Examples = []struct {
+	Label string // the paper's column header
+	Opt   opt.UBOpt
+	Src   string
+}{
+	{"if (p + 100 < p)", opt.OptPtrOverflow, `
+int check(char *p) {
+	if (p + 100 < p)
+		return 1;
+	return 0;
+}
+`},
+	{"*p; if (!p)", opt.OptNullCheck, `
+int check(int *p) {
+	*p = 0;
+	if (!p)
+		return 1;
+	return 0;
+}
+`},
+	{"if (x + 100 < x)", opt.OptSignedOverflow, `
+int check(int x) {
+	if (x + 100 < x)
+		return 1;
+	return 0;
+}
+`},
+	{"if (x+ + 100 < 0)", opt.OptValueRange, `
+int check(int x) {
+	if (x > 0) {
+		if (x + 100 < 0)
+			return 1;
+	}
+	return 0;
+}
+`},
+	{"if (!(1 << x))", opt.OptShift, `
+int check(int x) {
+	if (!(1 << x))
+		return 1;
+	return 0;
+}
+`},
+	{"if (abs(x) < 0)", opt.OptAbs, `
+int check(int x) {
+	if (abs(x) < 0)
+		return 1;
+	return 0;
+}
+`},
+}
+
+// buildExample compiles one example to IR.
+func buildExample(src string) (*ir.Func, error) {
+	f, err := cc.Parse("example.c", src)
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.Check(f); err != nil {
+		return nil, err
+	}
+	p, err := ir.Build(f)
+	if err != nil {
+		return nil, err
+	}
+	fn := p.Lookup("check")
+	if fn == nil {
+		return nil, fmt.Errorf("compilers: example lacks check()")
+	}
+	return fn, nil
+}
+
+// checkDiscarded reports whether the optimized function no longer has
+// any path returning 1 — i.e. the sanity check vanished.
+func checkDiscarded(f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		if b.Term == nil || b.Term.Op != ir.OpRet || len(b.Term.Args) == 0 {
+			continue
+		}
+		v := b.Term.Args[0]
+		if v.Op == ir.OpConst && v.Aux == 1 {
+			return false
+		}
+		if v.Op != ir.OpConst {
+			// A phi or computed return might still produce 1; treat
+			// any non-constant as "check may fire" for phis carrying a
+			// literal 1.
+			if mayYieldOne(v, 4) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func mayYieldOne(v *ir.Value, depth int) bool {
+	if depth == 0 {
+		return true // unknown: be conservative
+	}
+	switch v.Op {
+	case ir.OpConst:
+		return v.Aux == 1
+	case ir.OpPhi, ir.OpSelect:
+		for _, a := range v.Args {
+			if a != nil && mayYieldOne(a, depth-1) {
+				return true
+			}
+		}
+		return false
+	case ir.OpZExt, ir.OpSExt, ir.OpTrunc:
+		return mayYieldOne(v.Args[0], depth-1)
+	}
+	return true // loads, params, arithmetic: unknown
+}
+
+// DiscardLevel runs the real optimizer at each level and returns the
+// lowest -On at which the model discards example ex, or -1.
+func DiscardLevel(m *Model, ex int) (int, error) {
+	for level := 0; level <= 3; level++ {
+		fn, err := buildExample(Examples[ex].Src)
+		if err != nil {
+			return 0, err
+		}
+		opt.Optimize(fn, m.ConfigAt(level))
+		if checkDiscarded(fn) {
+			return level, nil
+		}
+	}
+	return -1, nil
+}
+
+// SurveyRow regenerates one row of Figure 4 by optimizing all six
+// examples under the model.
+func SurveyRow(m *Model) ([NumExamples]int, error) {
+	var row [NumExamples]int
+	for i := range Examples {
+		l, err := DiscardLevel(m, i)
+		if err != nil {
+			return row, err
+		}
+		row[i] = l
+	}
+	return row, nil
+}
+
+// Survey regenerates the full Figure 4 matrix.
+func Survey() (map[string][NumExamples]int, error) {
+	out := make(map[string][NumExamples]int, len(Models))
+	for _, m := range Models {
+		row, err := SurveyRow(m)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Name] = row
+	}
+	return out, nil
+}
+
+// FormatSurvey renders the matrix in the paper's form: "On" or "–".
+func FormatSurvey(rows map[string][NumExamples]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "")
+	for _, ex := range Examples {
+		fmt.Fprintf(&b, " %-20s", ex.Label)
+	}
+	b.WriteByte('\n')
+	for _, m := range Models {
+		fmt.Fprintf(&b, "%-18s", m.Name)
+		row := rows[m.Name]
+		for _, l := range row {
+			cell := "–"
+			if l >= 0 {
+				cell = fmt.Sprintf("O%d", l)
+			}
+			fmt.Fprintf(&b, " %-20s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ubOptToKind maps optimizer folds to the checker's UB kinds.
+var ubOptToKind = map[opt.UBOpt]core.UBKind{
+	opt.OptPtrOverflow:    core.UBPointerOverflow,
+	opt.OptNullCheck:      core.UBNullDeref,
+	opt.OptSignedOverflow: core.UBSignedOverflow,
+	opt.OptValueRange:     core.UBSignedOverflow,
+	opt.OptShift:          core.UBOversizedShift,
+	opt.OptAbs:            core.UBAbsOverflow,
+}
+
+// AnyModelDiscards is a core.DiscardPredicate over the whole survey:
+// does any modeled compiler exploit UB of kind k? Used to classify
+// reports as urgent optimization bugs vs. time bombs (§6.2).
+func AnyModelDiscards(k core.UBKind) bool {
+	for _, m := range Models {
+		for o, kind := range ubOptToKind {
+			if kind == k && m.Discards(o) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+package compilers
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+)
+
+// TestFigure4Matrix is the reproduction of the paper's Figure 4: for
+// every one of the 16 compiler models and 6 unstable-code examples,
+// running the real optimizer with the model's configuration must
+// discard the check at exactly the level the paper measured.
+func TestFigure4Matrix(t *testing.T) {
+	for _, m := range Models {
+		row, err := SurveyRow(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for i, got := range row {
+			want := m.FoldLevels[Examples[i].Opt]
+			if got != want {
+				t.Errorf("%s × %q: discard level %d, want %d",
+					m.Name, Examples[i].Label, got, want)
+			}
+		}
+	}
+}
+
+// TestGcc295FoldsSignedAdd pins §2.3's observation that even
+// gcc 2.95.3 (2001) eliminated x + 100 < x.
+func TestGcc295FoldsSignedAdd(t *testing.T) {
+	m := Lookup("gcc-2.95.3")
+	if m == nil {
+		t.Fatal("model missing")
+	}
+	l, err := DiscardLevel(m, 2) // column 3: x + 100 < x
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 1 {
+		t.Errorf("gcc-2.95.3 folds x+100<x at O%d, want O1", l)
+	}
+}
+
+// TestEvolutionMoreAggressive pins the paper's observation that
+// compilers discard more unstable code as they evolve: gcc 4.8.1
+// discards strictly more of the examples than gcc 2.95.3.
+func TestEvolutionMoreAggressive(t *testing.T) {
+	count := func(name string) int {
+		m := Lookup(name)
+		n := 0
+		for _, l := range m.FoldLevels {
+			if l >= 0 {
+				n++
+			}
+		}
+		return n
+	}
+	old := count("gcc-2.95.3")
+	new48 := count("gcc-4.8.1")
+	if new48 <= old {
+		t.Errorf("gcc-4.8.1 discards %d kinds, gcc-2.95.3 %d; evolution not captured", new48, old)
+	}
+	if c10, c33 := count("clang-1.0"), count("clang-3.3"); c33 <= c10 {
+		t.Errorf("clang-3.3 discards %d kinds, clang-1.0 %d", c33, c10)
+	}
+}
+
+// TestMostDiscardingAtO2OrLower pins §2.3's point that discarding
+// happens at standard release optimization levels.
+func TestMostDiscardingAtO2OrLower(t *testing.T) {
+	atO2, above := 0, 0
+	for _, m := range Models {
+		for _, l := range m.FoldLevels {
+			if l < 0 {
+				continue
+			}
+			if l <= 2 {
+				atO2++
+			} else {
+				above++
+			}
+		}
+	}
+	if atO2 <= above {
+		t.Errorf("%d folds at O2 or below vs %d above; expected mostly at/below O2", atO2, above)
+	}
+}
+
+// TestSomeDiscardAtO0 pins that a few compilers discard even at -O0
+// (gcc-4.2.1 and TI on pointer overflow, TI/windriver on signed).
+func TestSomeDiscardAtO0(t *testing.T) {
+	found := false
+	for _, m := range Models {
+		for _, l := range m.FoldLevels {
+			if l == 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no model discards at O0; Fig. 4 has several")
+	}
+}
+
+func TestConfigAtCumulative(t *testing.T) {
+	m := Lookup("gcc-4.8.1")
+	c0 := m.ConfigAt(0)
+	c2 := m.ConfigAt(2)
+	for i := range c0.Enabled {
+		if c0.Enabled[i] && !c2.Enabled[i] {
+			t.Errorf("opt %d enabled at O0 but not O2", i)
+		}
+	}
+	if c0.Enabled[opt.OptPtrOverflow] {
+		t.Error("gcc-4.8.1 should not fold pointer overflow at O0")
+	}
+	if !c2.Enabled[opt.OptPtrOverflow] {
+		t.Error("gcc-4.8.1 should fold pointer overflow at O2")
+	}
+}
+
+func TestAnyModelDiscards(t *testing.T) {
+	for _, k := range []core.UBKind{
+		core.UBPointerOverflow, core.UBNullDeref, core.UBSignedOverflow,
+		core.UBOversizedShift, core.UBAbsOverflow,
+	} {
+		if !AnyModelDiscards(k) {
+			t.Errorf("some surveyed compiler discards %v", k)
+		}
+	}
+	// No surveyed model folds based on use-after-free aliasing.
+	if AnyModelDiscards(core.UBUseAfterFree) {
+		t.Error("no surveyed compiler exploits use-after-free")
+	}
+}
+
+func TestFormatSurvey(t *testing.T) {
+	rows, err := Survey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FormatSurvey(rows)
+	for _, want := range []string{"gcc-4.8.1", "clang-3.3", "O2", "–"} {
+		if !contains(s, want) {
+			t.Errorf("survey output missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,709 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bv"
+	"repro/internal/cc"
+	"repro/internal/ir"
+)
+
+// Algo identifies which of STACK's algorithms produced a report
+// (paper §4.4 runs them in this order).
+type Algo int
+
+// Algorithms.
+const (
+	AlgoElimination Algo = iota
+	AlgoSimplifyBool
+	AlgoSimplifyAlgebra
+)
+
+var algoNames = [...]string{"elimination", "simplification (boolean oracle)", "simplification (algebra oracle)"}
+
+func (a Algo) String() string { return algoNames[a] }
+
+// Options configures the checker.
+type Options struct {
+	// Timeout bounds each solver query; the paper used 5 seconds
+	// (§6.4). Zero means no timeout.
+	Timeout time.Duration
+	// MaxConflictsPerQuery optionally bounds solver effort
+	// deterministically (useful for reproducible benchmarks).
+	MaxConflictsPerQuery int64
+	// FilterOrigins suppresses reports whose unstable fragment was
+	// produced by a macro expansion or inlined function (paper §4.2).
+	FilterOrigins bool
+	// MinUBSets computes the minimal UB-condition set per report with
+	// the masking algorithm of Fig. 8. Costs extra solver queries.
+	MinUBSets bool
+	// Inline runs the IR inliner before checking (paper §4.2).
+	Inline bool
+	// Flags models the gcc options discussed in §7 that promise
+	// C*-like semantics for some UB kinds: code is not unstable with
+	// respect to behavior the compiler has been told to define.
+	Flags Flags
+}
+
+// Flags mirrors the gcc workaround options of paper §7. Each flag
+// removes the corresponding UB conditions from the well-defined
+// program assumption, exactly as the option constrains the optimizer.
+// The paper's point — that these flags cover an incomplete set of UB
+// (nothing for shifts or division) — falls out of the model: there is
+// no flag for the remaining kinds.
+type Flags struct {
+	// WrapV is -fwrapv: signed integer arithmetic wraps.
+	WrapV bool
+	// NoStrictOverflow is -fno-strict-overflow: pointer arithmetic
+	// wraps too (implies WrapV in gcc; here it adds pointer overflow).
+	NoStrictOverflow bool
+	// NoDeleteNullPointerChecks is -fno-delete-null-pointer-checks.
+	NoDeleteNullPointerChecks bool
+}
+
+// definesAway reports whether the flags give kind k defined behavior.
+func (fl Flags) definesAway(k UBKind) bool {
+	switch k {
+	case UBSignedOverflow:
+		return fl.WrapV || fl.NoStrictOverflow
+	case UBPointerOverflow:
+		return fl.NoStrictOverflow
+	case UBNullDeref:
+		return fl.NoDeleteNullPointerChecks
+	}
+	return false
+}
+
+// DefaultOptions mirror the paper's configuration.
+var DefaultOptions = Options{
+	Timeout:       5 * time.Second,
+	FilterOrigins: true,
+	MinUBSets:     true,
+	Inline:        true,
+}
+
+// Stats aggregates checker effort, the quantities of the paper's
+// Figure 16 (queries, timeouts) plus report counts per algorithm
+// (Figure 17).
+type Stats struct {
+	Functions     int
+	Blocks        int
+	Queries       int64
+	Timeouts      int64
+	ReportsByAlgo [3]int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Functions += other.Functions
+	s.Blocks += other.Blocks
+	s.Queries += other.Queries
+	s.Timeouts += other.Timeouts
+	for i := range s.ReportsByAlgo {
+		s.ReportsByAlgo[i] += other.ReportsByAlgo[i]
+	}
+}
+
+// Checker is the STACK checker. Create with New; safe for sequential
+// reuse across programs.
+type Checker struct {
+	opts  Options
+	stats Stats
+}
+
+// New returns a checker with the given options.
+func New(opts Options) *Checker { return &Checker{opts: opts} }
+
+// Stats returns accumulated statistics.
+func (c *Checker) Stats() Stats { return c.stats }
+
+// ResetStats clears accumulated statistics.
+func (c *Checker) ResetStats() { c.stats = Stats{} }
+
+// CheckProgram analyzes every function and returns all reports, in
+// deterministic order.
+func (c *Checker) CheckProgram(p *ir.Program) []*Report {
+	if c.opts.Inline {
+		ir.InlineProgram(p, ir.DefaultInlineOptions)
+	}
+	var out []*Report
+	for _, f := range p.Funcs {
+		out = append(out, c.CheckFunc(f)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Algo < b.Algo
+	})
+	return out
+}
+
+// CheckFunc runs the three algorithms of §4.4 on one function:
+// elimination, then boolean-oracle simplification, then algebra-oracle
+// simplification.
+func (c *Checker) CheckFunc(f *ir.Func) []*Report {
+	c.stats.Functions++
+	c.stats.Blocks += len(f.Blocks)
+
+	bld := bv.NewBuilder()
+	solver := bv.NewSolver(bld)
+	solver.Timeout = c.opts.Timeout
+	solver.MaxConflicts = c.opts.MaxConflictsPerQuery
+	enc := newEncoder(bld, f)
+	ubs := insertUBConds(f)
+	dom := ir.ComputeDom(f)
+
+	st := &funcState{
+		c: c, f: f, enc: enc, solver: solver, ubs: ubs, dom: dom,
+		eliminated: map[*ir.Block]bool{},
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values() {
+			for _, u := range ubs[v] {
+				if c.opts.Flags.definesAway(u.Kind) {
+					continue // §7: the flag promises defined behavior
+				}
+				st.allConds = append(st.allConds, u)
+			}
+		}
+	}
+
+	var reports []*Report
+	reports = append(reports, st.eliminate()...)
+	reports = append(reports, st.simplify()...)
+
+	c.stats.Queries += solver.Queries
+	c.stats.Timeouts += solver.Timeouts
+	for _, r := range reports {
+		c.stats.ReportsByAlgo[r.Algo]++
+	}
+	return reports
+}
+
+type funcState struct {
+	c          *Checker
+	f          *ir.Func
+	enc        *encoder
+	solver     *bv.Solver
+	ubs        map[*ir.Value][]*UBCond
+	dom        *ir.DomTree
+	allConds   []*UBCond
+	eliminated map[*ir.Block]bool
+}
+
+// wellDefinedTerms encodes the well-defined program assumption ∆ (Def.
+// 2) for a fragment anchored at block b: one term per UB condition in
+// the function. Conditions whose instruction dominates the fragment
+// contribute the plain ¬U_d of eq. (5); every other condition d
+// contributes the guarded form R'_d → ¬U_d of eq. (2), with R'_d the
+// intra-function reachability of d's block. uptoTerm includes b's own
+// instructions as dominators (for fragments at b's terminator).
+// Results are deduplicated by term identity.
+func (st *funcState) wellDefinedTerms(b *ir.Block, uptoTerm bool) ([]*bv.Term, []*UBCond) {
+	bb := st.enc.b
+	dominates := func(u *UBCond) bool {
+		ub := u.Value.Block
+		if ub == b {
+			return uptoTerm && u.Value != b.Term
+		}
+		return st.dom.Dominates(ub, b)
+	}
+	seen := map[int]bool{}
+	var terms []*bv.Term
+	var kept []*UBCond
+	for _, u := range st.allConds {
+		ut := st.enc.ubTerm(u)
+		var t *bv.Term
+		if dominates(u) {
+			t = bb.Not(ut)
+		} else {
+			t = bb.Or(bb.Not(st.enc.reachability(u.Value.Block)), bb.Not(ut))
+		}
+		if t.IsConstBool(true) {
+			continue // vacuous
+		}
+		if seen[t.ID()] {
+			continue
+		}
+		seen[t.ID()] = true
+		terms = append(terms, t)
+		kept = append(kept, u)
+	}
+	return terms, kept
+}
+
+// eliminate implements Fig. 5 over basic blocks: report blocks that
+// are reachable under C* but unreachable under the well-defined
+// program assumption.
+func (st *funcState) eliminate() []*Report {
+	var out []*Report
+	for _, b := range st.f.Blocks {
+		if b == st.f.Entry {
+			continue
+		}
+		r := st.enc.reachability(b)
+		if r.IsConstBool(false) {
+			st.eliminated[b] = true // trivially unreachable
+			continue
+		}
+		// Phase 1 (without ∆): trivially unreachable code is removed
+		// silently, exactly as a C* compiler could.
+		if res := st.solver.Solve(r); res == bv.Unsat {
+			st.eliminated[b] = true
+			continue
+		} else if res == bv.Unknown {
+			continue
+		}
+		// Phase 2 (with the well-defined program assumption).
+		negs, kept := st.wellDefinedTerms(b, false)
+		if len(negs) == 0 {
+			continue
+		}
+		assumptions := append([]*bv.Term{r}, negs...)
+		res, coreIdx := st.solver.SolveCore(assumptions...)
+		if res != bv.Unsat {
+			continue
+		}
+		st.eliminated[b] = true
+		// Only the frontier of an eliminated region is the unstable
+		// code; blocks that are unreachable solely because all their
+		// predecessors were eliminated are consequences of the same
+		// instability and would double-count it.
+		downstream := len(b.Preds) > 0
+		for _, p := range b.Preds {
+			if !st.eliminated[p] {
+				downstream = false
+				break
+			}
+		}
+		if downstream {
+			continue
+		}
+		rep := &Report{
+			Func:   st.f.Name,
+			Algo:   AlgoElimination,
+			Pos:    blockPos(b),
+			Origin: blockOrigin(b),
+		}
+		rep.UBConds = st.minimalUBSet(r, negs, kept, coreIdx, 1)
+		if st.c.opts.FilterOrigins && rep.Origin != "" {
+			continue // compiler-generated code (paper §4.2)
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// simplify implements Fig. 6 on branch conditions, first with the
+// boolean oracle, then with the algebra oracle (paper §4.4 order).
+func (st *funcState) simplify() []*Report {
+	var out []*Report
+	type condSite struct {
+		blk  *ir.Block
+		cond *ir.Value
+	}
+	var sites []condSite
+	seen := map[*ir.Value]bool{}
+	for _, b := range st.f.Blocks {
+		if st.eliminated[b] {
+			continue
+		}
+		// Branch conditions — unless elimination already folded the
+		// branch by removing a successor, in which case re-reporting
+		// the condition would double-count the same unstable code.
+		if b.Term != nil && b.Term.Op == ir.OpCondBr {
+			cond := b.Term.Args[0]
+			seen[cond] = true
+			if !st.eliminated[b.Succs[0]] && !st.eliminated[b.Succs[1]] {
+				sites = append(sites, condSite{b, cond})
+			}
+		}
+	}
+	// Boolean expressions used as values (assigned, returned, merged
+	// into phis): the paper's Simplify iterates over all expressions,
+	// not only branch conditions (Fig. 6). Expressions whose value
+	// only flows into branches that elimination already folded are the
+	// same unstable check and are not re-reported.
+	uses := map[*ir.Value][]*ir.Value{}
+	condBrOf := map[*ir.Value][]*ir.Block{}
+	for _, b := range st.f.Blocks {
+		for _, v := range b.Values() {
+			for _, a := range v.Args {
+				uses[a] = append(uses[a], v)
+			}
+		}
+		if b.Term != nil && b.Term.Op == ir.OpCondBr {
+			condBrOf[b.Term.Args[0]] = append(condBrOf[b.Term.Args[0]], b)
+		}
+	}
+	for _, b := range st.f.Blocks {
+		if st.eliminated[b] {
+			continue
+		}
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpICmp && !seen[v] && !st.sinksOnlyToFoldedBranches(v, uses, condBrOf, map[*ir.Value]bool{}) {
+				seen[v] = true
+				sites = append(sites, condSite{b, v})
+			}
+		}
+	}
+	// Boolean oracle.
+	for _, s := range sites {
+		if rep := st.simplifyBool(s.blk, s.cond); rep != nil {
+			out = append(out, rep)
+		}
+	}
+	// Algebra oracle, on conditions the boolean oracle left alone.
+	reported := map[*ir.Value]bool{}
+	for _, r := range out {
+		reported[r.cond] = true
+	}
+	for _, s := range sites {
+		if reported[s.cond] {
+			continue
+		}
+		if rep := st.simplifyAlgebra(s.blk, s.cond); rep != nil {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// sinksOnlyToFoldedBranches reports whether every transitive consumer
+// of boolean value v is a conditional branch one of whose successors
+// elimination removed — i.e. the instability was already reported.
+func (st *funcState) sinksOnlyToFoldedBranches(v *ir.Value, uses map[*ir.Value][]*ir.Value, condBrOf map[*ir.Value][]*ir.Block, visiting map[*ir.Value]bool) bool {
+	if visiting[v] {
+		return true // cycle through a phi: no independent sink
+	}
+	visiting[v] = true
+	defer delete(visiting, v)
+	us := uses[v]
+	brs := condBrOf[v]
+	if len(us) == 0 && len(brs) == 0 {
+		return false // dead value: treat as independent
+	}
+	for _, b := range brs {
+		if !st.eliminated[b.Succs[0]] && !st.eliminated[b.Succs[1]] {
+			return false // feeds a live branch: the branch site covers it
+		}
+	}
+	for _, u := range us {
+		if u.Op == ir.OpCondBr {
+			continue // handled via condBrOf above
+		}
+		if u.Width != 1 {
+			return false // escapes into non-boolean computation
+		}
+		if !st.sinksOnlyToFoldedBranches(u, uses, condBrOf, visiting) {
+			return false
+		}
+	}
+	return true
+}
+
+// simplifyBool proposes true and false for a branch condition
+// (paper §3.2.3, boolean oracle).
+func (st *funcState) simplifyBool(blk *ir.Block, cond *ir.Value) *Report {
+	e := st.enc.value(cond)
+	if e.Op() == bv.OpConst {
+		return nil // already constant: trivially simplified
+	}
+	r := st.enc.reachability(blk)
+	negs, kept := st.wellDefinedTerms(blk, true)
+	b := st.enc.b
+	for _, proposal := range []bool{true, false} {
+		ne := b.Xor(e, b.Bool(proposal)) // e(x) ≠ e'(x)
+		// Phase 1: trivially equivalent without ∆ — a plain compiler
+		// could fold it; not unstable.
+		if res := st.solver.Solve(ne, r); res != bv.Sat {
+			return nil
+		}
+		if len(negs) == 0 {
+			continue
+		}
+		assumptions := append([]*bv.Term{ne, r}, negs...)
+		res, coreIdx := st.solver.SolveCore(assumptions...)
+		if res == bv.Unsat {
+			rep := &Report{
+				Func:       st.f.Name,
+				Algo:       AlgoSimplifyBool,
+				Pos:        condPos(blk, cond),
+				Origin:     condOrigin(blk, cond),
+				Simplified: boolName(proposal),
+				cond:       cond,
+			}
+			rep.UBConds = st.minimalUBSet(b.And(ne, r), negs, kept, coreIdx, 2)
+			if st.c.opts.FilterOrigins && rep.Origin != "" {
+				return nil
+			}
+			return rep
+		}
+	}
+	return nil
+}
+
+func boolName(v bool) string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+
+// simplifyAlgebra implements the algebra oracle: eliminate a common
+// term on both sides of a comparison when one side is a subexpression
+// of the other, e.g. propose y < 0 for x + y < x (paper §3.2.3; the
+// FFmpeg case of §6.2.2 is data + x < data ⇒ x < 0).
+func (st *funcState) simplifyAlgebra(blk *ir.Block, cond *ir.Value) *Report {
+	if cond.Op != ir.OpICmp {
+		return nil
+	}
+	x, y := cond.Args[0], cond.Args[1]
+	prop, desc := st.algebraProposal(cond, x, y, false)
+	if prop == nil {
+		prop, desc = st.algebraProposal(cond, y, x, true)
+	}
+	if prop == nil {
+		return nil
+	}
+	b := st.enc.b
+	e := st.enc.value(cond)
+	ne := b.Xor(e, prop)
+	if ne.IsConstBool(false) {
+		return nil // syntactically identical already
+	}
+	r := st.enc.reachability(blk)
+	// Phase 1.
+	if res := st.solver.Solve(ne, r); res != bv.Sat {
+		return nil
+	}
+	negs, kept := st.wellDefinedTerms(blk, true)
+	if len(negs) == 0 {
+		return nil
+	}
+	assumptions := append([]*bv.Term{ne, r}, negs...)
+	res, coreIdx := st.solver.SolveCore(assumptions...)
+	if res != bv.Unsat {
+		return nil
+	}
+	rep := &Report{
+		Func:       st.f.Name,
+		Algo:       AlgoSimplifyAlgebra,
+		Pos:        condPos(blk, cond),
+		Origin:     condOrigin(blk, cond),
+		Simplified: desc,
+		cond:       cond,
+	}
+	rep.UBConds = st.minimalUBSet(b.And(ne, r), negs, kept, coreIdx, 2)
+	if st.c.opts.FilterOrigins && rep.Origin != "" {
+		return nil
+	}
+	return rep
+}
+
+// algebraProposal builds e' for cmp(sum, base) where sum = base + off:
+// the comparison reduces to comparing off against 0 with signed
+// semantics (the optimizer's view once overflow is assumed away).
+func (st *funcState) algebraProposal(cond, sum, base *ir.Value, swapped bool) (*bv.Term, string) {
+	if sum.Op != ir.OpAdd && sum.Op != ir.OpPtrAdd {
+		return nil, ""
+	}
+	if sum.Op == ir.OpAdd && !sum.Signed {
+		return nil, "" // unsigned wraparound is defined; not unstable
+	}
+	var off *ir.Value
+	if sum.Args[0] == base {
+		off = sum.Args[1]
+	} else if sum.Args[1] == base {
+		off = sum.Args[0]
+	} else {
+		return nil, ""
+	}
+	b := st.enc.b
+	o := st.enc.value(off)
+	zero := b.ConstInt64(0, o.Width())
+	pred := cond.Pred()
+	if swapped {
+		// cmp(base, base+off): mirror the predicate.
+		switch pred {
+		case ir.CmpULT:
+			return b.SGT(o, zero), "0 < " + offName(off)
+		case ir.CmpULE:
+			return b.SGE(o, zero), "0 <= " + offName(off)
+		case ir.CmpSLT:
+			return b.SGT(o, zero), "0 < " + offName(off)
+		case ir.CmpSLE:
+			return b.SGE(o, zero), "0 <= " + offName(off)
+		case ir.CmpEq:
+			return b.Eq(o, zero), offName(off) + " == 0"
+		case ir.CmpNe:
+			return b.Ne(o, zero), offName(off) + " != 0"
+		}
+		return nil, ""
+	}
+	switch pred {
+	case ir.CmpULT, ir.CmpSLT:
+		return b.SLT(o, zero), offName(off) + " < 0"
+	case ir.CmpULE, ir.CmpSLE:
+		return b.SLE(o, zero), offName(off) + " <= 0"
+	case ir.CmpEq:
+		return b.Eq(o, zero), offName(off) + " == 0"
+	case ir.CmpNe:
+		return b.Ne(o, zero), offName(off) + " != 0"
+	}
+	return nil, ""
+}
+
+func offName(v *ir.Value) string {
+	if v.Op == ir.OpParam {
+		return v.AuxName
+	}
+	switch v.Op {
+	case ir.OpZExt, ir.OpSExt, ir.OpTrunc, ir.OpMul:
+		return offName(v.Args[0])
+	}
+	if v.AuxName != "" {
+		return v.AuxName
+	}
+	return "x"
+}
+
+// minimalUBSet implements Fig. 8: mask each UB condition out of the
+// query; the ones whose removal makes it satisfiable are essential.
+// The solver's unsat core prunes the candidate set first. coreIdx
+// indexes the caller's assumption vector, in which negs begin at
+// offset.
+func (st *funcState) minimalUBSet(h *bv.Term, negs []*bv.Term, conds []*UBCond, coreIdx []int, offset int) []UBRef {
+	refs := func(idx []int) []UBRef {
+		var out []UBRef
+		seen := map[UBRef]bool{}
+		for _, i := range idx {
+			// The H term occupies assumption slots before negs in the
+			// callers' SolveCore; normalize indices here.
+			r := UBRef{Kind: conds[i].Kind, Pos: conds[i].Pos}
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].Pos.Line != out[b].Pos.Line {
+				return out[a].Pos.Line < out[b].Pos.Line
+			}
+			return out[a].Kind < out[b].Kind
+		})
+		return out
+	}
+	// Candidates: indices into negs, shifted out of the caller's
+	// assumption vector.
+	var candidates []int
+	for _, i := range coreIdx {
+		if i < offset {
+			continue // belongs to the H terms
+		}
+		candidates = append(candidates, i-offset)
+	}
+	if len(candidates) == 0 {
+		for i := range negs {
+			candidates = append(candidates, i)
+		}
+	}
+	if !st.c.opts.MinUBSets {
+		return refs(candidates)
+	}
+	var minimal []int
+	for _, masked := range candidates {
+		assumptions := []*bv.Term{h}
+		for _, j := range candidates {
+			if j != masked {
+				assumptions = append(assumptions, negs[j])
+			}
+		}
+		if st.solver.Solve(assumptions...) == bv.Sat {
+			minimal = append(minimal, masked)
+		}
+	}
+	if len(minimal) == 0 {
+		minimal = candidates
+	}
+	return refs(minimal)
+}
+
+// blockPos picks the report position for an eliminated block.
+func blockPos(b *ir.Block) cc.Pos {
+	for _, v := range b.Values() {
+		if v.Pos.IsValid() {
+			return v.Pos
+		}
+	}
+	return cc.Pos{}
+}
+
+func blockOrigin(b *ir.Block) string {
+	for _, v := range b.Values() {
+		if v.Pos.IsValid() && v.Origin != "" {
+			return v.Origin
+		}
+		if v.Pos.IsValid() {
+			break
+		}
+	}
+	// The block's own code is user-written; if every branch guarding
+	// it was produced by a macro or an inlined function, the
+	// elimination is still driven by compiler-generated code and is
+	// suppressed (paper §4.2).
+	origin := ""
+	for _, p := range b.Preds {
+		if p.Term == nil || p.Term.Op != ir.OpCondBr {
+			return ""
+		}
+		o := deepOrigin(p.Term.Args[0], 4)
+		if o == "" {
+			return ""
+		}
+		origin = o
+	}
+	return origin
+}
+
+// deepOrigin finds a macro/inline origin in a condition's definition
+// tree (bounded depth), so that checks synthesized from expanded code
+// are recognized even when the outer comparison was built by the
+// frontend itself.
+func deepOrigin(v *ir.Value, depth int) string {
+	if v.Origin != "" {
+		return v.Origin
+	}
+	if depth == 0 {
+		return ""
+	}
+	for _, a := range v.Args {
+		if a.Op == ir.OpConst {
+			continue
+		}
+		if o := deepOrigin(a, depth-1); o != "" {
+			return o
+		}
+	}
+	return ""
+}
+
+func condPos(blk *ir.Block, cond *ir.Value) cc.Pos {
+	if cond.Pos.IsValid() {
+		return cond.Pos
+	}
+	return blk.Term.Pos
+}
+
+func condOrigin(blk *ir.Block, cond *ir.Value) string {
+	if cond.Origin != "" {
+		return cond.Origin
+	}
+	return blk.Term.Origin
+}

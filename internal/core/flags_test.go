@@ -1,0 +1,141 @@
+package core
+
+// Tests of the §7 compiler-flag model: -fwrapv and friends promise
+// defined behavior for some UB kinds, which removes the corresponding
+// instability — and only it (the paper's point is that the flags cover
+// an incomplete set of UB kinds).
+
+import "testing"
+
+func TestWrapVSilencesSignedOverflow(t *testing.T) {
+	src := `
+int f(int x) {
+	if (x + 100 < x)
+		return -1;
+	return x + 100;
+}
+`
+	base := analyze(t, src, testOpts())
+	if len(base) == 0 {
+		t.Fatal("baseline must flag the overflow check")
+	}
+	opts := testOpts()
+	opts.Flags.WrapV = true
+	with := analyze(t, src, opts)
+	for _, r := range with {
+		if r.HasUB(UBSignedOverflow) {
+			t.Errorf("-fwrapv code still flagged: %v", r)
+		}
+	}
+}
+
+func TestWrapVDoesNotSilencePointerOverflow(t *testing.T) {
+	src := `
+int f(char *p, unsigned int len) {
+	if (p + len < p)
+		return -1;
+	return 0;
+}
+`
+	opts := testOpts()
+	opts.Flags.WrapV = true
+	reports := analyze(t, src, opts)
+	found := false
+	for _, r := range reports {
+		if r.HasUB(UBPointerOverflow) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("-fwrapv must not define pointer arithmetic (that is -fno-strict-overflow)")
+	}
+}
+
+func TestNoStrictOverflowSilencesPointerChecks(t *testing.T) {
+	src := `
+int f(char *p, unsigned int len) {
+	if (p + len < p)
+		return -1;
+	return 0;
+}
+`
+	opts := testOpts()
+	opts.Flags.NoStrictOverflow = true
+	reports := analyze(t, src, opts)
+	for _, r := range reports {
+		if r.HasUB(UBPointerOverflow) {
+			t.Errorf("-fno-strict-overflow code still flagged: %v", r)
+		}
+	}
+}
+
+func TestNoDeleteNullPointerChecks(t *testing.T) {
+	src := `
+struct s { int a; };
+int f(struct s *p) {
+	int v = p->a;
+	if (!p)
+		return -1;
+	return v;
+}
+`
+	opts := testOpts()
+	opts.Flags.NoDeleteNullPointerChecks = true
+	reports := analyze(t, src, opts)
+	for _, r := range reports {
+		if r.HasUB(UBNullDeref) {
+			t.Errorf("null check flagged despite -fno-delete-null-pointer-checks: %v", r)
+		}
+	}
+}
+
+// TestFlagsCoverIncompleteSet reproduces the paper's §7 criticism: the
+// gcc options cover no UB kinds beyond the three; oversized shifts and
+// division stay unstable under every flag combination.
+func TestFlagsCoverIncompleteSet(t *testing.T) {
+	src := `
+int f(int x, int a, int b) {
+	if (!(1 << x))
+		return -1;
+	int q = a / b;
+	if (b == 0)
+		return -2;
+	return q;
+}
+`
+	opts := testOpts()
+	opts.Flags = Flags{WrapV: true, NoStrictOverflow: true, NoDeleteNullPointerChecks: true}
+	reports := analyze(t, src, opts)
+	var shift, div bool
+	for _, r := range reports {
+		if r.HasUB(UBOversizedShift) {
+			shift = true
+		}
+		if r.HasUB(UBDivByZero) {
+			div = true
+		}
+	}
+	if !shift || !div {
+		t.Errorf("shift=%v div=%v: the flags must not silence shift/division instability (no gcc option exists)",
+			shift, div)
+	}
+}
+
+func TestDefinesAwayTable(t *testing.T) {
+	all := Flags{WrapV: true, NoStrictOverflow: true, NoDeleteNullPointerChecks: true}
+	covered := 0
+	for k := UBKind(0); k < UBKind(NumUBKinds); k++ {
+		if all.definesAway(k) {
+			covered++
+		}
+	}
+	if covered != 3 {
+		t.Errorf("flags cover %d kinds, want exactly 3 (signed, pointer, null)", covered)
+	}
+	if (Flags{}).definesAway(UBSignedOverflow) {
+		t.Error("zero flags must define nothing away")
+	}
+	if !(Flags{NoStrictOverflow: true}).definesAway(UBSignedOverflow) {
+		t.Error("-fno-strict-overflow implies -fwrapv semantics")
+	}
+}

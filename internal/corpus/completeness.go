@@ -1,0 +1,149 @@
+package corpus
+
+import "repro/internal/core"
+
+// CompletenessTest is one entry of the §6.6 benchmark, collected from
+// Regehr's "undefined behavior consequences contest" winners and Wang
+// et al.'s survey: ten tests from real systems. STACK identifies seven;
+// it misses two whose UB kinds it deliberately does not implement
+// (strict aliasing, uninitialized variables — paper §4.6) and one due
+// to approximate reachability conditions.
+type CompletenessTest struct {
+	Name     string
+	Source   string
+	Kind     core.UBKind // expected UB kind when Expected is true
+	Expected bool        // should STACK find it?
+	WhyMiss  string      // for Expected == false
+}
+
+// CompletenessSuite is the ten-test benchmark.
+var CompletenessSuite = []CompletenessTest{
+	{
+		Name: "pointer-overflow-check (Chromium/CERT VU#162289)",
+		Source: `
+int t1(char *buf, char *buf_end, unsigned int len) {
+	if (buf + len >= buf_end)
+		return -1;
+	if (buf + len < buf)
+		return -1;
+	return 0;
+}`,
+		Kind:     core.UBPointerOverflow,
+		Expected: true,
+	},
+	{
+		Name: "null-check-after-deref (Linux CVE-2009-1897)",
+		Source: `
+struct sock { int fd; };
+struct tun { struct sock *sk; };
+int t2(struct tun *tun) {
+	struct sock *sk = tun->sk;
+	if (!tun)
+		return -1;
+	return sk->fd;
+}`,
+		Kind:     core.UBNullDeref,
+		Expected: true,
+	},
+	{
+		Name: "signed-overflow-check (gcc bug 30475)",
+		Source: `
+int t3(int x) {
+	if (x + 100 < x)
+		return -1;
+	return 0;
+}`,
+		Kind:     core.UBSignedOverflow,
+		Expected: true,
+	},
+	{
+		Name: "oversized-shift-check (Linux ext4 bug 14287)",
+		Source: `
+int t4(int groups_per_flex) {
+	if (!(1 << groups_per_flex))
+		return -1;
+	return 1 << groups_per_flex;
+}`,
+		Kind:     core.UBOversizedShift,
+		Expected: true,
+	},
+	{
+		Name: "abs-check (PHP / gcc bug 49820)",
+		Source: `
+int t5(int x) {
+	if (abs(x) < 0)
+		return -1;
+	return abs(x);
+}`,
+		Kind:     core.UBAbsOverflow,
+		Expected: true,
+	},
+	{
+		Name: "division-overflow-check (Postgres)",
+		Source: `
+long t6(long a, long b) {
+	long r;
+	if (b == 0)
+		return -1;
+	r = a / b;
+	if (b == -1 && a < 0 && r <= 0)
+		return -1;
+	return r;
+}`,
+		Kind:     core.UBDivByZero,
+		Expected: true,
+	},
+	{
+		Name: "negation-check (plan9port pdec)",
+		Source: `
+int t7(int k) {
+	if (k < 0) {
+		if (-k >= 0)
+			return 1;
+		return 2;
+	}
+	return 0;
+}`,
+		Kind:     core.UBSignedOverflow,
+		Expected: true,
+	},
+	{
+		Name: "strict-aliasing violation (not implemented, §4.6)",
+		Source: `
+int t8(int *ip, short *sp) {
+	*ip = 1;
+	*sp = 2; /* may alias *ip through incompatible type: UB */
+	return *ip;
+}`,
+		Expected: false,
+		WhyMiss:  "strict-aliasing UB conditions deliberately not implemented (gcc warns already)",
+	},
+	{
+		Name: "uninitialized-variable use (not implemented, §4.6)",
+		Source: `
+int t9(int c) {
+	int x;
+	if (c)
+		x = 1;
+	return x; /* uninitialized when !c: UB */
+}`,
+		Expected: false,
+		WhyMiss:  "uninitialized-use UB conditions deliberately not implemented",
+	},
+	{
+		Name: "loop-guarded check (approximate reachability, §4.6)",
+		Source: `
+int t10(int *p, int n) {
+	int i = 0;
+	while (i < n) {
+		*p = i; /* dereference inside the loop */
+		i++;
+	}
+	if (!p)
+		return -1; /* unstable only if the loop body executed */
+	return 0;
+}`,
+		Expected: false,
+		WhyMiss:  "back-edge widening makes the in-loop dereference's reachability opaque",
+	},
+}

@@ -1,0 +1,243 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// The paper checked the 8,575 Debian Wheezy packages containing C/C++
+// (§6.5), finding unstable code in 3,471 (~40%), with reports
+// distributed over UB kinds per Figure 18. This generator produces a
+// synthetic archive whose planted-bug mix follows that measured
+// distribution, scaled down to laptop size, so the full pipeline
+// (preprocess → parse → IR → solver) runs the same work per package.
+
+// Fig18Weights is the measured report distribution over the UB kinds
+// this reproduction models (paper Fig. 18; the aliasing and cttz/ctlz
+// rows concern UB kinds outside Fig. 3's implemented set — see
+// EXPERIMENTS.md).
+var Fig18Weights = map[core.UBKind]int{
+	core.UBNullDeref:       59230,
+	core.UBBufferOverflow:  5795,
+	core.UBSignedOverflow:  4364,
+	core.UBPointerOverflow: 3680,
+	core.UBOversizedShift:  594,
+	core.UBMemcpyOverlap:   227,
+	core.UBDivByZero:       226,
+	core.UBUseAfterFree:    156,
+	core.UBAbsOverflow:     86,
+	core.UBUseAfterRealloc: 22,
+}
+
+// ArchiveConfig sizes a synthetic archive.
+type ArchiveConfig struct {
+	Packages         int
+	FilesPerPackage  int
+	FuncsPerFile     int
+	UnstableFraction float64 // fraction of packages containing unstable code (paper: ~0.40)
+	Seed             int64
+}
+
+// DefaultArchive is a laptop-scale stand-in for the Wheezy sweep.
+var DefaultArchive = ArchiveConfig{
+	Packages:         120,
+	FilesPerPackage:  3,
+	FuncsPerFile:     6,
+	UnstableFraction: 0.405, // 3,471 / 8,575
+	Seed:             20130324,
+}
+
+// Package is one generated package.
+type Package struct {
+	Name    string
+	Files   []string // C sources
+	Planted map[core.UBKind]int
+}
+
+// GenerateArchive deterministically generates the synthetic archive.
+func GenerateArchive(cfg ArchiveConfig) []Package {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kinds, cum, total := weightTable()
+	pkgs := make([]Package, 0, cfg.Packages)
+	for pi := 0; pi < cfg.Packages; pi++ {
+		name := fmt.Sprintf("pkg%03d", pi)
+		unstable := rng.Float64() < cfg.UnstableFraction
+		p := Package{Name: name, Planted: map[core.UBKind]int{}}
+		for fi := 0; fi < cfg.FilesPerPackage; fi++ {
+			var src strings.Builder
+			fmt.Fprintf(&src, "/* %s file %d */\n", name, fi)
+			for fn := 0; fn < cfg.FuncsPerFile; fn++ {
+				fname := fmt.Sprintf("%s_f%d_%d", name, fi, fn)
+				// In unstable packages, roughly one function in four
+				// carries a planted bug.
+				if unstable && rng.Intn(4) == 0 {
+					kind := pickKind(rng, kinds, cum, total)
+					// A small slice of plants use the data+x<data shape
+					// that only the algebra oracle simplifies (paper:
+					// 871 of ~71,880 reports, ≈1.2%).
+					if rng.Intn(64) == 0 {
+						kind = core.UBPointerOverflow
+						src.WriteString(instantiate(templates[kind][2], fname))
+						p.Planted[kind]++
+						src.WriteByte('\n')
+						continue
+					}
+					// Prefer value-form unstable expressions 2:1 over
+					// branch-form checks, matching the Fig. 17 ratio of
+					// boolean-oracle to elimination reports.
+					tpls := templates[kind]
+					if vts := valueTemplates[kind]; len(vts) > 0 && rng.Intn(3) != 0 {
+						tpls = vts
+					}
+					tpl := tpls[rng.Intn(len(tpls))]
+					src.WriteString(instantiate(tpl, fname))
+					p.Planted[kind]++
+				} else {
+					filler := stableFillers[rng.Intn(len(stableFillers))]
+					src.WriteString(instantiate(filler, fname))
+				}
+				src.WriteByte('\n')
+			}
+			p.Files = append(p.Files, src.String())
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs
+}
+
+func weightTable() (kinds []core.UBKind, cum []int, total int) {
+	for _, k := range kindOrder {
+		w := Fig18Weights[k]
+		if w == 0 {
+			continue
+		}
+		total += w
+		kinds = append(kinds, k)
+		cum = append(cum, total)
+	}
+	return kinds, cum, total
+}
+
+func pickKind(rng *rand.Rand, kinds []core.UBKind, cum []int, total int) core.UBKind {
+	x := rng.Intn(total)
+	for i, c := range cum {
+		if x < c {
+			return kinds[i]
+		}
+	}
+	return kinds[len(kinds)-1]
+}
+
+// SweepResult aggregates a whole-archive run: the quantities of the
+// paper's Figures 16, 17, and 18 plus the §6.5 minimal-set histogram.
+type SweepResult struct {
+	Packages            int
+	PackagesWithReports int
+	Files               int
+	Functions           int
+	Reports             int
+	ReportsByAlgo       map[core.Algo]int
+	ReportsByKind       map[core.UBKind]int
+	MinSetHistogram     map[int]int
+	Queries             int64
+	Timeouts            int64
+	BuildTime           time.Duration // frontend + IR construction
+	AnalysisTime        time.Duration // solver-based checking
+}
+
+// Sweep runs the checker over every package.
+func Sweep(pkgs []Package, opts core.Options) (*SweepResult, error) {
+	res := &SweepResult{
+		Packages:        len(pkgs),
+		ReportsByAlgo:   map[core.Algo]int{},
+		ReportsByKind:   map[core.UBKind]int{},
+		MinSetHistogram: map[int]int{},
+	}
+	checker := core.New(opts)
+	for _, p := range pkgs {
+		had := false
+		for fi, src := range p.Files {
+			t0 := time.Now()
+			file, err := cc.Parse(fmt.Sprintf("%s_%d.c", p.Name, fi), src)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.Name, err)
+			}
+			if err := cc.Check(file); err != nil {
+				return nil, fmt.Errorf("%s: %w", p.Name, err)
+			}
+			prog, err := ir.Build(file)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.Name, err)
+			}
+			res.BuildTime += time.Since(t0)
+			res.Files++
+			res.Functions += len(prog.Funcs)
+
+			t1 := time.Now()
+			reports := checker.CheckProgram(prog)
+			res.AnalysisTime += time.Since(t1)
+
+			if len(reports) > 0 {
+				had = true
+			}
+			res.Reports += len(reports)
+			for a, n := range core.CountByAlgo(reports) {
+				res.ReportsByAlgo[a] += n
+			}
+			for k, n := range core.CountByUBKind(reports) {
+				res.ReportsByKind[k] += n
+			}
+			for s, n := range core.MinSetSizeHistogram(reports) {
+				res.MinSetHistogram[s] += n
+			}
+		}
+		if had {
+			res.PackagesWithReports++
+		}
+	}
+	st := checker.Stats()
+	res.Queries = st.Queries
+	res.Timeouts = st.Timeouts
+	return res, nil
+}
+
+// Format renders the sweep in the style of the paper's §6.5 figures.
+func (r *SweepResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packages checked:        %d\n", r.Packages)
+	fmt.Fprintf(&b, "packages with reports:   %d (%.1f%%)\n",
+		r.PackagesWithReports, 100*float64(r.PackagesWithReports)/float64(max(1, r.Packages)))
+	fmt.Fprintf(&b, "files / functions:       %d / %d\n", r.Files, r.Functions)
+	fmt.Fprintf(&b, "build time / analysis:   %v / %v\n", r.BuildTime.Round(time.Millisecond), r.AnalysisTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "solver queries:          %d (%d timeouts)\n", r.Queries, r.Timeouts)
+	b.WriteString("\nreports by algorithm (Fig. 17):\n")
+	for a := core.AlgoElimination; a <= core.AlgoSimplifyAlgebra; a++ {
+		fmt.Fprintf(&b, "  %-34s %d\n", a.String(), r.ReportsByAlgo[a])
+	}
+	b.WriteString("\nreports by UB condition (Fig. 18):\n")
+	for _, k := range kindOrder {
+		if n := r.ReportsByKind[k]; n > 0 {
+			fmt.Fprintf(&b, "  %-26s %d\n", k.String(), n)
+		}
+	}
+	b.WriteString("\nminimal UB-set sizes (§6.5):\n")
+	for s := 1; s <= 8; s++ {
+		if n := r.MinSetHistogram[s]; n > 0 {
+			fmt.Fprintf(&b, "  %d condition(s): %d report(s)\n", s, n)
+		}
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,482 @@
+// Package corpus provides the evaluation workloads of the paper:
+//
+//   - the Figure 9 bug corpus: 160 unstable-code bugs across 24 system
+//     rows, reconstructed from the paper's per-system, per-UB-kind
+//     breakdown (row multisets and column totals are exact; the cell
+//     assignment is the unique-style solution documented in
+//     EXPERIMENTS.md);
+//   - the §6.6 completeness benchmark (ten tests from Regehr's contest
+//     and Wang et al.'s survey, of which STACK finds seven); and
+//   - a deterministic synthetic "Debian archive" generator used to
+//     reproduce Figures 16, 17, and 18 at laptop scale.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Fig9Row is one system row of the paper's Figure 9.
+type Fig9Row struct {
+	System string
+	Bugs   map[core.UBKind]int
+}
+
+// Total returns the row's bug count.
+func (r Fig9Row) Total() int {
+	n := 0
+	for _, v := range r.Bugs {
+		n += v
+	}
+	return n
+}
+
+// Fig9 is the reconstructed Figure 9 distribution. Row totals and the
+// per-kind column totals (29 pointer, 44 null, 23 integer, 7 div, 23
+// shift, 14 buffer, 1 abs, 7 memcpy, 9 free, 3 realloc = 160) match
+// the paper exactly.
+var Fig9 = []Fig9Row{
+	{"Binutils", map[core.UBKind]int{core.UBNullDeref: 6, core.UBPointerOverflow: 1, core.UBSignedOverflow: 1}},
+	{"e2fsprogs", map[core.UBKind]int{core.UBOversizedShift: 1, core.UBBufferOverflow: 1, core.UBAbsOverflow: 1}},
+	{"FFmpeg+Libav", map[core.UBKind]int{core.UBPointerOverflow: 9, core.UBNullDeref: 6, core.UBSignedOverflow: 1, core.UBDivByZero: 1, core.UBOversizedShift: 3, core.UBBufferOverflow: 1}},
+	{"FreeType", map[core.UBKind]int{core.UBNullDeref: 3}},
+	{"GRUB", map[core.UBKind]int{core.UBNullDeref: 2}},
+	{"HiStar", map[core.UBKind]int{core.UBNullDeref: 1, core.UBOversizedShift: 2}},
+	{"Kerberos", map[core.UBKind]int{core.UBSignedOverflow: 9, core.UBMemcpyOverlap: 1, core.UBUseAfterFree: 1}},
+	{"libX11", map[core.UBKind]int{core.UBOversizedShift: 2}},
+	{"libarchive", map[core.UBKind]int{core.UBBufferOverflow: 2}},
+	{"libgcrypt", map[core.UBKind]int{core.UBBufferOverflow: 2}},
+	{"Linux kernel", map[core.UBKind]int{core.UBPointerOverflow: 1, core.UBNullDeref: 6, core.UBSignedOverflow: 1, core.UBDivByZero: 2, core.UBOversizedShift: 10, core.UBBufferOverflow: 5, core.UBMemcpyOverlap: 5, core.UBUseAfterFree: 2}},
+	{"Mozilla", map[core.UBKind]int{core.UBNullDeref: 2, core.UBDivByZero: 1}},
+	{"OpenAFS", map[core.UBKind]int{core.UBNullDeref: 6, core.UBPointerOverflow: 4, core.UBSignedOverflow: 1}},
+	{"plan9port", map[core.UBKind]int{core.UBSignedOverflow: 1, core.UBUseAfterFree: 1, core.UBUseAfterRealloc: 1}},
+	{"Postgres", map[core.UBKind]int{core.UBSignedOverflow: 7, core.UBDivByZero: 1, core.UBUseAfterFree: 1}},
+	{"Python", map[core.UBKind]int{core.UBPointerOverflow: 5}},
+	{"QEMU", map[core.UBKind]int{core.UBNullDeref: 3, core.UBDivByZero: 1}},
+	{"Ruby+Rubinius", map[core.UBKind]int{core.UBUseAfterFree: 1, core.UBUseAfterRealloc: 1}},
+	{"Sane", map[core.UBKind]int{core.UBPointerOverflow: 1, core.UBNullDeref: 7}},
+	{"uClibc", map[core.UBKind]int{core.UBBufferOverflow: 2}},
+	{"VLC", map[core.UBKind]int{core.UBUseAfterFree: 2}},
+	{"Xen", map[core.UBKind]int{core.UBMemcpyOverlap: 1, core.UBUseAfterFree: 1, core.UBUseAfterRealloc: 1}},
+	{"Xpdf", map[core.UBKind]int{core.UBPointerOverflow: 8, core.UBNullDeref: 1}},
+	{"others", map[core.UBKind]int{core.UBNullDeref: 1, core.UBOversizedShift: 5, core.UBSignedOverflow: 2, core.UBDivByZero: 1, core.UBBufferOverflow: 1}},
+}
+
+// Fig9Totals returns the per-kind column totals (the "all" row).
+func Fig9Totals() (int, map[core.UBKind]int) {
+	total := 0
+	byKind := map[core.UBKind]int{}
+	for _, r := range Fig9 {
+		for k, n := range r.Bugs {
+			total += n
+			byKind[k] += n
+		}
+	}
+	return total, byKind
+}
+
+// templates holds, per UB kind, function bodies each containing
+// exactly one unstable-code bug of that kind. %s is the function name
+// suffix. Variants rotate to avoid literal copy-paste.
+var templates = map[core.UBKind][]string{
+	core.UBPointerOverflow: {
+		`
+int %s(char *buf, char *buf_end, unsigned int len) {
+	if (buf + len >= buf_end)
+		return -1;
+	if (buf + len < buf)
+		return -1; /* unstable: pointer overflow */
+	return 0;
+}`,
+		`
+long %s(char *buf) {
+	char *nodep = strchr(buf, '.') + 1;
+	if (!nodep)
+		return -5; /* unstable: p+1 assumed non-null */
+	return simple_strtoul(nodep, NULL, 10);
+}`,
+		`
+int %s(char *data, char *data_end, int size) {
+	if (data + size >= data_end || data + size < data)
+		return -1; /* second clause unstable: simplifies to size < 0 */
+	return 0;
+}`,
+	},
+	core.UBNullDeref: {
+		`
+struct %s_dev { int *ring; int head; };
+int %s(struct %s_dev *dev) {
+	int head = dev->head;
+	if (!dev)
+		return -19; /* unstable: dereference above */
+	return head;
+}`,
+		`
+struct %s_ctx { int state; };
+int %s(struct %s_ctx *c) {
+	c->state = 1;
+	if (c == NULL)
+		return -1; /* unstable */
+	return 0;
+}`,
+		`
+int %s(int *p, int v) {
+	*p = v;
+	if (!p)
+		return -1; /* unstable */
+	return *p;
+}`,
+	},
+	core.UBSignedOverflow: {
+		`
+int %s(int x) {
+	if (x + 100 < x)
+		return -1; /* unstable: signed overflow assumed away */
+	return x + 100;
+}`,
+		`
+int %s(int k) {
+	if (k < 0) {
+		if (-k >= 0)
+			return 1; /* unstable under k < 0 */
+		return 2;
+	}
+	return 0;
+}`,
+		`
+long %s(long arg1) {
+	if (arg1 != 0 && ((-arg1 < 0) == (arg1 < 0)))
+		return 1; /* unstable INT64_MIN probe */
+	return 0;
+}`,
+		`
+int %s(int len) {
+	int ok = (len + 1 > len);
+	return ok; /* unstable: folds to true */
+}`,
+	},
+	core.UBDivByZero: {
+		`
+long %s(long arg1, long arg2) {
+	long result;
+	if (arg2 == 0)
+		return -1;
+	result = arg1 / arg2;
+	if (arg2 == -1 && arg1 < 0 && result <= 0)
+		return -1; /* unstable: overflow check after division */
+	return result;
+}`,
+		`
+int %s(int a, int b) {
+	int q = a / b;
+	if (b == 0)
+		return -1; /* unstable: checked after dividing */
+	return q;
+}`,
+	},
+	core.UBOversizedShift: {
+		`
+int %s(int x) {
+	if (!(1 << x))
+		return -1; /* unstable: oversized shift assumed away */
+	return 1 << x;
+}`,
+		`
+unsigned int %s(unsigned int val, int order) {
+	unsigned int size = 1U << order;
+	if (size == 0)
+		return 0; /* unstable */
+	return val / size;
+}`,
+		`
+int %s(int n) {
+	int bad = ((1 << n) == 0);
+	return bad; /* unstable: folds to false */
+}`,
+	},
+	core.UBBufferOverflow: {
+		`
+int %s(int i) {
+	int table[16];
+	table[i] = i;
+	if (i < 0 || i >= 16)
+		return -1; /* unstable: bounds check after access */
+	return table[i];
+}`,
+		`
+int %s(int idx, int v) {
+	char map[32];
+	map[idx] = (char)v;
+	if (idx >= 32)
+		return -1; /* unstable */
+	return map[idx];
+}`,
+	},
+	core.UBAbsOverflow: {
+		`
+int %s(int x) {
+	if (abs(x) < 0)
+		return -1; /* unstable: abs(INT_MIN) assumed away */
+	return abs(x);
+}`,
+	},
+	core.UBMemcpyOverlap: {
+		`
+int %s(char *dst, char *src, unsigned long n) {
+	memcpy(dst, src, n);
+	if (dst == src && n > 0)
+		return -1; /* unstable: overlap is UB */
+	return 0;
+}`,
+		`
+int %s(char *a, char *b, unsigned long len) {
+	memcpy(a, b, len);
+	if (a == b && len != 0)
+		return 1; /* unstable */
+	return 0;
+}`,
+	},
+	core.UBUseAfterFree: {
+		`
+int %s(int *p) {
+	free(p);
+	if (*p == 0)
+		return 1; /* unstable: use after free */
+	return 0;
+}`,
+		`
+int %s(char *buf) {
+	free(buf);
+	if (buf[0] == 'x')
+		return 1; /* unstable */
+	return 0;
+}`,
+	},
+	core.UBUseAfterRealloc: {
+		`
+int %s(char *p, unsigned long n) {
+	char *q = realloc(p, n);
+	if (!q)
+		return -1;
+	if (*p == 'x')
+		return 1; /* unstable: use after successful realloc */
+	return 0;
+}`,
+	},
+}
+
+// valueTemplates contain unstable boolean *expressions* (assigned or
+// returned rather than branched on), which STACK's simplification
+// reports without any elimination — the dominant report shape in the
+// paper's Debian sweep (Fig. 17: the boolean oracle produced twice as
+// many reports as elimination). Used by the Debian generator.
+var valueTemplates = map[core.UBKind][]string{
+	core.UBPointerOverflow: {
+		`
+int %s(char *p, unsigned int len) {
+	char *q = p + len;
+	int wrapped = (q < p); /* unstable: folds to false */
+	return wrapped;
+}`,
+	},
+	core.UBNullDeref: {
+		`
+struct %s_ctx { int magic; };
+int %s(struct %s_ctx *c) {
+	int m = c->magic;
+	int ok = (c != NULL); /* unstable: folds to true */
+	return m + ok;
+}`,
+		`
+int %s(int *p) {
+	*p = 7;
+	int valid = (p != NULL); /* unstable */
+	return valid;
+}`,
+	},
+	core.UBSignedOverflow: {
+		`
+int %s(int len) {
+	int ok = (len + 1 > len); /* unstable: folds to true */
+	return ok;
+}`,
+		`
+int %s(int x) {
+	int sane = (x + 100 >= x); /* unstable */
+	return sane;
+}`,
+	},
+	core.UBDivByZero: {
+		`
+int %s(int a, int b) {
+	int q = a / b;
+	int zero = (b == 0); /* unstable: folds to false */
+	return q + zero;
+}`,
+	},
+	core.UBOversizedShift: {
+		`
+int %s(int n) {
+	int nonzero = ((1 << n) != 0); /* unstable: folds to true */
+	return nonzero;
+}`,
+	},
+	core.UBBufferOverflow: {
+		`
+int %s(int i) {
+	int tab[16];
+	tab[i] = i;
+	int inrange = (i < 16); /* unstable: folds to true */
+	return tab[i] + inrange;
+}`,
+	},
+	core.UBAbsOverflow: {
+		`
+int %s(int x) {
+	int nonneg = (abs(x) >= 0); /* unstable: folds to true */
+	return nonneg;
+}`,
+	},
+	core.UBMemcpyOverlap: {
+		`
+int %s(char *dst, char *src, unsigned long n) {
+	memcpy(dst, src, n);
+	int distinct = (dst != src || n == 0); /* unstable */
+	return distinct;
+}`,
+	},
+}
+
+// stableFillers are correct functions mixed into every file so the
+// corpus also measures precision (no reports expected on them).
+var stableFillers = []string{
+	`
+static int %s_min(int a, int b) {
+	if (a < b)
+		return a;
+	return b;
+}`,
+	`
+int %s_sum(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++)
+		s += i;
+	return s;
+}`,
+	`
+struct %s_obj { int refs; };
+int %s_get(struct %s_obj *o) {
+	if (!o)
+		return -1;
+	o->refs = o->refs + 1;
+	return o->refs;
+}`,
+	`
+long %s_div(long a, long b) {
+	if (b == 0)
+		return 0;
+	if (a == (-9223372036854775807L - 1) && b == -1)
+		return 0;
+	return a / b;
+}`,
+}
+
+// PlantedBug identifies one generated bug.
+type PlantedBug struct {
+	System   string
+	Kind     core.UBKind
+	FuncName string
+}
+
+// SystemSource is one generated translation unit plus its plants.
+type SystemSource struct {
+	System string
+	Source string
+	Bugs   []PlantedBug
+}
+
+// sanitize converts a system name to a C identifier fragment.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return strings.ToLower(b.String())
+}
+
+// kindOrder fixes generation order for determinism.
+var kindOrder = []core.UBKind{
+	core.UBPointerOverflow, core.UBNullDeref, core.UBSignedOverflow,
+	core.UBDivByZero, core.UBOversizedShift, core.UBBufferOverflow,
+	core.UBAbsOverflow, core.UBMemcpyOverlap, core.UBUseAfterFree,
+	core.UBUseAfterRealloc,
+}
+
+// GenerateFig9 emits one translation unit per Figure 9 row, containing
+// exactly the row's number of unstable functions of each kind plus
+// stable fillers.
+func GenerateFig9() []SystemSource {
+	var out []SystemSource
+	for _, row := range Fig9 {
+		sys := sanitize(row.System)
+		var src strings.Builder
+		src.WriteString("/* synthetic corpus: " + row.System + " */\n")
+		var bugs []PlantedBug
+		for fi, filler := range stableFillers {
+			name := fmt.Sprintf("%s_f%d", sys, fi)
+			src.WriteString(instantiate(filler, name))
+			src.WriteByte('\n')
+		}
+		for _, kind := range kindOrder {
+			n := row.Bugs[kind]
+			tpls := templates[kind]
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("%s_%s_%d", sys, shortKind(kind), i)
+				tpl := tpls[i%len(tpls)]
+				src.WriteString(instantiate(tpl, name))
+				src.WriteByte('\n')
+				bugs = append(bugs, PlantedBug{System: row.System, Kind: kind, FuncName: name})
+			}
+		}
+		out = append(out, SystemSource{System: row.System, Source: src.String(), Bugs: bugs})
+	}
+	return out
+}
+
+// instantiate substitutes every %s with name.
+func instantiate(tpl, name string) string {
+	return strings.ReplaceAll(tpl, "%s", name)
+}
+
+func shortKind(k core.UBKind) string {
+	switch k {
+	case core.UBPointerOverflow:
+		return "ptr"
+	case core.UBNullDeref:
+		return "null"
+	case core.UBSignedOverflow:
+		return "int"
+	case core.UBDivByZero:
+		return "div"
+	case core.UBOversizedShift:
+		return "shift"
+	case core.UBBufferOverflow:
+		return "buf"
+	case core.UBAbsOverflow:
+		return "abs"
+	case core.UBMemcpyOverlap:
+		return "memcpy"
+	case core.UBUseAfterFree:
+		return "free"
+	case core.UBUseAfterRealloc:
+		return "realloc"
+	}
+	return "ub"
+}

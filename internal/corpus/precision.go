@@ -1,0 +1,141 @@
+package corpus
+
+import "repro/internal/core"
+
+// FixedTemplates give the corrected form of each bug template —
+// the fixes the paper's reports led developers to apply (§6.2/§6.3).
+// After fixing, STACK must produce zero reports (the paper's Kerberos
+// result: 11 bugs fixed, then zero reports).
+var FixedTemplates = map[core.UBKind][]string{
+	core.UBPointerOverflow: {
+		`
+int %s(char *buf, char *buf_end, unsigned int len) {
+	if (len >= (unsigned long)(buf_end - buf))
+		return -1; /* fixed: compare lengths, no overflowing pointer */
+	return 0;
+}`,
+	},
+	core.UBNullDeref: {
+		`
+struct %s_dev { int *ring; int head; };
+int %s(struct %s_dev *dev) {
+	if (!dev)
+		return -19; /* fixed: check before dereference */
+	return dev->head;
+}`,
+	},
+	core.UBSignedOverflow: {
+		`
+int %s(int x) {
+	if (x > 2147483647 - 100)
+		return -1; /* fixed: check against INT_MAX before adding */
+	return x + 100;
+}`,
+		`
+int %s(int k) {
+	if (k < 0) {
+		if (k == (-2147483647 - 1))
+			return 2; /* fixed: compare against INT_MIN directly */
+		return 1;
+	}
+	return 0;
+}`,
+	},
+	core.UBDivByZero: {
+		`
+long %s(long arg1, long arg2) {
+	if (arg2 == 0)
+		return -1;
+	if (arg1 == (-9223372036854775807L - 1) && arg2 == -1)
+		return -1; /* fixed: overflow check before the division */
+	return arg1 / arg2;
+}`,
+	},
+	core.UBOversizedShift: {
+		`
+int %s(int x) {
+	if (x < 0 || x >= 32)
+		return -1; /* fixed: range-check the amount itself */
+	return 1 << x;
+}`,
+	},
+	core.UBBufferOverflow: {
+		`
+int %s(int i) {
+	int table[16];
+	if (i < 0 || i >= 16)
+		return -1; /* fixed: bounds check before the access */
+	table[i] = i;
+	return table[i];
+}`,
+	},
+	core.UBAbsOverflow: {
+		`
+int %s(int x) {
+	if (x == (-2147483647 - 1))
+		return -1; /* fixed: reject INT_MIN before abs */
+	return abs(x);
+}`,
+	},
+	core.UBMemcpyOverlap: {
+		`
+int %s(char *dst, char *src, unsigned long n) {
+	if (dst == src)
+		return -1; /* fixed: reject overlap before copying */
+	memcpy(dst, src, n);
+	return 0;
+}`,
+	},
+	core.UBUseAfterFree: {
+		`
+int %s(int *p) {
+	int v = *p;
+	free(p); /* fixed: read before freeing */
+	return v == 0;
+}`,
+	},
+	core.UBUseAfterRealloc: {
+		`
+int %s(char *p, unsigned long n) {
+	char *q = realloc(p, n);
+	if (!q)
+		return -1;
+	if (*q == 'x')
+		return 1; /* fixed: use the new pointer */
+	return 0;
+}`,
+	},
+}
+
+// GenerateFixedRow emits a translation unit for one Figure 9 row with
+// every bug replaced by its corrected form.
+func GenerateFixedRow(row Fig9Row) SystemSource {
+	sys := sanitize(row.System)
+	var src []byte
+	src = append(src, []byte("/* fixed corpus: "+row.System+" */\n")...)
+	for _, kind := range kindOrder {
+		n := row.Bugs[kind]
+		tpls := FixedTemplates[kind]
+		for i := 0; i < n; i++ {
+			name := sys + "_fixed_" + shortKind(kind) + "_" + itoa(i)
+			tpl := tpls[i%len(tpls)]
+			src = append(src, []byte(instantiate(tpl, name))...)
+			src = append(src, '\n')
+		}
+	}
+	return SystemSource{System: row.System, Source: string(src)}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}

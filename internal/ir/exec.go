@@ -1,0 +1,485 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements a concrete evaluator for the C* dialect of the
+// paper (§3.1): flat address space, null at address zero, wrap-around
+// pointer and integer arithmetic. Division and shift follow the
+// selected hardware architecture, which is exactly the distinction the
+// paper draws in §2.1 (IDIV traps on x86 but wraps silently via lldiv
+// on x86-32; shifts mask differently on x86/ARM/PowerPC). Tests use it
+// to demonstrate the end-to-end consequences of unstable code, e.g.
+// the Postgres −2⁶³/−1 crash (paper Fig. 10).
+
+// Arch selects hardware behavior for division and shifts.
+type Arch int
+
+// Architectures distinguished by the paper's §2.1 survey.
+const (
+	ArchX86 Arch = iota // IDIV traps; shift amount masked to width bits
+	ArchARM             // division yields 0; shifts ≥ width yield 0
+	ArchPPC             // division undefined-but-silent; shift masked wider
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchX86:
+		return "x86"
+	case ArchARM:
+		return "arm"
+	default:
+		return "powerpc"
+	}
+}
+
+// Trap is a hardware trap raised during evaluation (e.g. x86 IDIV on
+// overflow or divide-by-zero).
+type Trap struct{ Msg string }
+
+func (t *Trap) Error() string { return "trap: " + t.Msg }
+
+// ErrSteps is returned when evaluation exceeds the step budget —
+// how the tests detect the paper's infinite-loop bugs (Fig. 13).
+var ErrSteps = errors.New("ir: step budget exhausted (possible infinite loop)")
+
+// ExecOptions configures evaluation.
+type ExecOptions struct {
+	Arch     Arch
+	MaxSteps int // 0 = default 1,000,000
+	// Globals provides initial scalar values for OpGlobal loads.
+	Globals map[string]uint64
+	// Calls intercepts external calls: fn(args) -> result.
+	Calls map[string]func(args []uint64) uint64
+	// Program, when set, resolves calls to other functions defined in
+	// the same translation unit (executed in the same memory).
+	Program *Program
+}
+
+// ExecResult is the outcome of running a function.
+type ExecResult struct {
+	Ret      uint64
+	Returned bool // false for void return
+	Steps    int
+}
+
+type machine struct {
+	opts   ExecOptions
+	mem    map[uint64]byte
+	vals   map[*Value]uint64
+	heap   uint64
+	steps  int
+	max    int
+	global map[string]uint64 // name -> address
+}
+
+// Exec runs f with the given arguments under C* semantics.
+func Exec(f *Func, args []uint64, opts ExecOptions) (ExecResult, error) {
+	m := &machine{
+		opts:   opts,
+		mem:    make(map[uint64]byte),
+		heap:   0x10000,
+		max:    opts.MaxSteps,
+		global: map[string]uint64{},
+	}
+	if m.max == 0 {
+		m.max = 1_000_000
+	}
+	return m.run(f, args)
+}
+
+func maskW(v uint64, w int) uint64 {
+	if w >= 64 {
+		return v
+	}
+	return v & (1<<uint(w) - 1)
+}
+
+func signExt(v uint64, w int) int64 {
+	if w >= 64 {
+		return int64(v)
+	}
+	v = maskW(v, w)
+	if v&(1<<uint(w-1)) != 0 {
+		return int64(v | ^uint64(0)<<uint(w))
+	}
+	return int64(v)
+}
+
+func (m *machine) run(f *Func, args []uint64) (ExecResult, error) {
+	m.vals = make(map[*Value]uint64)
+	for i, p := range f.Params {
+		if i < len(args) {
+			m.vals[p] = maskW(args[i], p.Width)
+		}
+	}
+	blk := f.Entry
+	var prev *Block
+	for {
+		// Phis first, evaluated simultaneously from the incoming edge.
+		var phiVals []uint64
+		var phis []*Value
+		for _, v := range blk.Instrs {
+			if v.Op != OpPhi {
+				break
+			}
+			phis = append(phis, v)
+			idx := -1
+			for i, p := range blk.Preds {
+				if p == prev {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 || idx >= len(v.Args) || v.Args[idx] == nil {
+				phiVals = append(phiVals, 0)
+				continue
+			}
+			phiVals = append(phiVals, m.vals[v.Args[idx]])
+		}
+		for i, v := range phis {
+			m.vals[v] = maskW(phiVals[i], v.Width)
+		}
+		for _, v := range blk.Instrs[len(phis):] {
+			m.steps++
+			if m.steps > m.max {
+				return ExecResult{Steps: m.steps}, ErrSteps
+			}
+			if err := m.eval(v); err != nil {
+				return ExecResult{Steps: m.steps}, err
+			}
+		}
+		t := blk.Term
+		m.steps++
+		if m.steps > m.max {
+			return ExecResult{Steps: m.steps}, ErrSteps
+		}
+		switch t.Op {
+		case OpRet:
+			if len(t.Args) > 0 {
+				return ExecResult{Ret: m.vals[t.Args[0]], Returned: true, Steps: m.steps}, nil
+			}
+			return ExecResult{Steps: m.steps}, nil
+		case OpBr:
+			prev, blk = blk, blk.Succs[0]
+		case OpCondBr:
+			if m.vals[t.Args[0]] != 0 {
+				prev, blk = blk, blk.Succs[0]
+			} else {
+				prev, blk = blk, blk.Succs[1]
+			}
+		case OpUnreachable:
+			return ExecResult{Steps: m.steps}, &Trap{Msg: "unreachable executed"}
+		default:
+			return ExecResult{Steps: m.steps}, fmt.Errorf("ir: bad terminator %v", t.Op)
+		}
+	}
+}
+
+func (m *machine) eval(v *Value) error {
+	arg := func(i int) uint64 { return m.vals[v.Args[i]] }
+	w := v.Width
+	switch v.Op {
+	case OpConst:
+		m.vals[v] = maskW(uint64(v.Aux), w)
+	case OpParam:
+		// Already set; missing args default to 0.
+	case OpUnknown:
+		if _, ok := m.vals[v]; !ok {
+			// Abstract addresses get distinct heap slots.
+			m.vals[v] = m.alloc(64)
+		}
+	case OpGlobal:
+		addr, ok := m.global[v.AuxName]
+		if !ok {
+			addr = m.alloc(64)
+			m.global[v.AuxName] = addr
+			if init, ok := m.opts.Globals[v.AuxName]; ok {
+				m.store(addr, init, 64)
+			}
+		}
+		m.vals[v] = addr
+	case OpString:
+		addr := m.alloc(uint64(len(v.AuxName) + 1))
+		for i := 0; i < len(v.AuxName); i++ {
+			m.mem[addr+uint64(i)] = v.AuxName[i]
+		}
+		m.vals[v] = addr
+	case OpAdd:
+		m.vals[v] = maskW(arg(0)+arg(1), w)
+	case OpSub:
+		m.vals[v] = maskW(arg(0)-arg(1), w)
+	case OpMul:
+		m.vals[v] = maskW(arg(0)*arg(1), w)
+	case OpUDiv, OpURem:
+		x, y := maskW(arg(0), w), maskW(arg(1), w)
+		if y == 0 {
+			if m.opts.Arch == ArchX86 {
+				return &Trap{Msg: "integer divide by zero"}
+			}
+			m.vals[v] = 0
+			return nil
+		}
+		if v.Op == OpUDiv {
+			m.vals[v] = maskW(x/y, w)
+		} else {
+			m.vals[v] = maskW(x%y, w)
+		}
+	case OpSDiv, OpSRem:
+		x, y := signExt(arg(0), w), signExt(arg(1), w)
+		if y == 0 {
+			if m.opts.Arch == ArchX86 {
+				return &Trap{Msg: "integer divide by zero"}
+			}
+			m.vals[v] = 0
+			return nil
+		}
+		minVal := int64(-1) << uint(w-1)
+		if x == minVal && y == -1 {
+			// The paper's §6.2.1 case: IDIV traps on x86-64; other
+			// architectures (and x86-32's lldiv) silently wrap.
+			if m.opts.Arch == ArchX86 {
+				return &Trap{Msg: "integer overflow in division"}
+			}
+			m.vals[v] = maskW(uint64(minVal), w)
+			if v.Op == OpSRem {
+				m.vals[v] = 0
+			}
+			return nil
+		}
+		if v.Op == OpSDiv {
+			m.vals[v] = maskW(uint64(x/y), w)
+		} else {
+			m.vals[v] = maskW(uint64(x%y), w)
+		}
+	case OpNeg:
+		m.vals[v] = maskW(-arg(0), w)
+	case OpAnd:
+		m.vals[v] = arg(0) & arg(1)
+	case OpOr:
+		m.vals[v] = arg(0) | arg(1)
+	case OpXor:
+		m.vals[v] = arg(0) ^ arg(1)
+	case OpNot:
+		m.vals[v] = maskW(^arg(0), w)
+	case OpShl, OpLShr, OpAShr:
+		m.vals[v] = m.shift(v, arg(0), arg(1))
+	case OpICmp:
+		x, y := arg(0), arg(1)
+		xw := v.Args[0].Width
+		var r bool
+		switch v.Pred() {
+		case CmpEq:
+			r = maskW(x, xw) == maskW(y, xw)
+		case CmpNe:
+			r = maskW(x, xw) != maskW(y, xw)
+		case CmpULT:
+			r = maskW(x, xw) < maskW(y, xw)
+		case CmpULE:
+			r = maskW(x, xw) <= maskW(y, xw)
+		case CmpSLT:
+			r = signExt(x, xw) < signExt(y, xw)
+		case CmpSLE:
+			r = signExt(x, xw) <= signExt(y, xw)
+		}
+		if r {
+			m.vals[v] = 1
+		} else {
+			m.vals[v] = 0
+		}
+	case OpZExt:
+		m.vals[v] = maskW(arg(0), v.Args[0].Width)
+	case OpSExt:
+		m.vals[v] = maskW(uint64(signExt(arg(0), v.Args[0].Width)), w)
+	case OpTrunc:
+		m.vals[v] = maskW(arg(0), w)
+	case OpSelect:
+		if arg(0) != 0 {
+			m.vals[v] = arg(1)
+		} else {
+			m.vals[v] = arg(2)
+		}
+	case OpPtrAdd:
+		m.vals[v] = arg(0) + arg(1) // C*: wraparound pointer arithmetic
+	case OpIndexAddr:
+		m.vals[v] = arg(0) + arg(1)*uint64(v.Aux)
+	case OpLoad:
+		addr := arg(0)
+		if addr == 0 {
+			return &Trap{Msg: "null pointer dereference"}
+		}
+		m.vals[v] = m.load(addr, w)
+	case OpStore:
+		addr := arg(0)
+		if addr == 0 {
+			return &Trap{Msg: "null pointer dereference"}
+		}
+		m.store(addr, arg(1), v.Args[1].Width)
+	case OpCall:
+		return m.call(v)
+	case OpPhi:
+		// Handled at block entry.
+	default:
+		return fmt.Errorf("ir: exec: unsupported op %v", v.Op)
+	}
+	return nil
+}
+
+// shift implements the per-architecture shift semantics from §2.1.
+func (m *machine) shift(v *Value, x, amtRaw uint64) uint64 {
+	w := v.Width
+	amt := maskW(amtRaw, v.Args[1].Width)
+	var effective uint64
+	oversized := false
+	switch m.opts.Arch {
+	case ArchX86:
+		// Hardware masks the amount to log2(width) bits.
+		if w <= 32 {
+			effective = amt & 31
+		} else {
+			effective = amt & 63
+		}
+	case ArchARM:
+		// Amount taken from the bottom byte; ≥ width yields 0/sign.
+		effective = amt & 255
+		if effective >= uint64(w) {
+			oversized = true
+		}
+	case ArchPPC:
+		// One extra amount bit: 32-bit shifts use 6 bits, 64-bit use 7.
+		if w <= 32 {
+			effective = amt & 63
+		} else {
+			effective = amt & 127
+		}
+		if effective >= uint64(w) {
+			oversized = true
+		}
+	}
+	if oversized {
+		if v.Op == OpAShr && signExt(x, w) < 0 {
+			return maskW(^uint64(0), w)
+		}
+		return 0
+	}
+	switch v.Op {
+	case OpShl:
+		return maskW(x<<effective, w)
+	case OpLShr:
+		return maskW(maskW(x, w)>>effective, w)
+	default: // OpAShr
+		return maskW(uint64(signExt(x, w)>>effective), w)
+	}
+}
+
+func (m *machine) alloc(n uint64) uint64 {
+	addr := m.heap
+	m.heap += (n + 15) &^ 15
+	return addr
+}
+
+func (m *machine) load(addr uint64, w int) uint64 {
+	n := (w + 7) / 8
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(m.mem[addr+uint64(i)]) << uint(8*i)
+	}
+	return maskW(v, w)
+}
+
+func (m *machine) store(addr, val uint64, w int) {
+	n := (w + 7) / 8
+	if n == 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		m.mem[addr+uint64(i)] = byte(val >> uint(8*i))
+	}
+}
+
+func (m *machine) call(v *Value) error {
+	if m.opts.Program != nil {
+		if callee := m.opts.Program.Lookup(v.AuxName); callee != nil {
+			args := make([]uint64, len(v.Args))
+			for i, a := range v.Args {
+				args[i] = m.vals[a]
+			}
+			saved := m.vals
+			r, err := m.run(callee, args)
+			m.vals = saved
+			if err != nil {
+				return err
+			}
+			m.vals[v] = maskW(r.Ret, v.Width)
+			return nil
+		}
+	}
+	if fn, ok := m.opts.Calls[v.AuxName]; ok {
+		args := make([]uint64, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = m.vals[a]
+		}
+		m.vals[v] = maskW(fn(args), v.Width)
+		return nil
+	}
+	arg := func(i int) uint64 { return m.vals[v.Args[i]] }
+	switch v.AuxName {
+	case "abs", "labs":
+		w := v.Width
+		x := signExt(arg(0), w)
+		if x < 0 {
+			x = -x // INT_MIN wraps to itself in C*
+		}
+		m.vals[v] = maskW(uint64(x), w)
+	case "malloc", "calloc":
+		m.vals[v] = m.alloc(arg(0) + 16)
+	case "free":
+		// No-op under C*.
+	case "realloc":
+		n := arg(1)
+		na := m.alloc(n + 16)
+		for i := uint64(0); i < n; i++ {
+			m.mem[na+i] = m.mem[arg(0)+i]
+		}
+		m.vals[v] = na
+	case "memcpy", "memmove":
+		dst, src, n := arg(0), arg(1), arg(2)
+		for i := uint64(0); i < n; i++ {
+			m.mem[dst+i] = m.mem[src+i]
+		}
+		m.vals[v] = dst
+	case "memset":
+		dst, c, n := arg(0), arg(1), arg(2)
+		for i := uint64(0); i < n; i++ {
+			m.mem[dst+i] = byte(c)
+		}
+		m.vals[v] = dst
+	case "strchr":
+		p, c := arg(0), byte(arg(1))
+		for {
+			b := m.mem[p]
+			if b == c {
+				m.vals[v] = p
+				return nil
+			}
+			if b == 0 {
+				m.vals[v] = 0
+				return nil
+			}
+			p++
+		}
+	case "strlen":
+		p := arg(0)
+		n := uint64(0)
+		for m.mem[p+n] != 0 {
+			n++
+		}
+		m.vals[v] = n
+	default:
+		// Unknown extern: returns 0.
+		m.vals[v] = 0
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/ir"
+)
+
+func build(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := cc.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := cc.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := ir.Build(f)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if len(p.Funcs) == 0 {
+		t.Fatal("no functions")
+	}
+	return p.Funcs[0]
+}
+
+// retConsts collects constant return values still present.
+func retConsts(f *ir.Func) map[int64]bool {
+	out := map[int64]bool{}
+	for _, b := range f.Blocks {
+		if b.Term != nil && b.Term.Op == ir.OpRet && len(b.Term.Args) > 0 {
+			if v := b.Term.Args[0]; v.Op == ir.OpConst {
+				out[v.Aux] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestConstFoldArithmetic(t *testing.T) {
+	f := build(t, `int f(void) { return (2 + 3) * 4 - 6 / 2; }`)
+	Optimize(f, Config{})
+	rets := retConsts(f)
+	if !rets[17] {
+		t.Fatalf("constant folding failed: %v\n%s", rets, f)
+	}
+}
+
+func TestSimplifyCFGConstBranch(t *testing.T) {
+	f := build(t, `int f(void) { if (1 < 2) return 7; return 8; }`)
+	Optimize(f, Config{})
+	if rets := retConsts(f); rets[8] || !rets[7] {
+		t.Fatalf("branch folding failed: %v\n%s", rets, f)
+	}
+	if len(f.Blocks) > 2 {
+		t.Fatalf("dead blocks survived:\n%s", f)
+	}
+}
+
+func TestDCERemovesDeadArith(t *testing.T) {
+	f := build(t, `int f(int x) { int dead = x * 2; return 5; }`)
+	Optimize(f, Config{})
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpMul {
+				t.Fatalf("dead multiply survived:\n%s", f)
+			}
+		}
+	}
+}
+
+func TestNoUBFoldWithoutConfig(t *testing.T) {
+	// With all UB folds disabled, x + 100 < x must survive (a C*
+	// compiler keeps the check).
+	f := build(t, `int f(int x) { if (x + 100 < x) return 1; return 0; }`)
+	res := Optimize(f, Config{})
+	if res.FoldedChecks != 0 {
+		t.Fatalf("folded %d checks with empty config", res.FoldedChecks)
+	}
+	if rets := retConsts(f); !rets[1] {
+		t.Fatalf("check path removed without UB folds:\n%s", f)
+	}
+}
+
+func TestSignedOverflowFold(t *testing.T) {
+	f := build(t, `int f(int x) { if (x + 100 < x) return 1; return 0; }`)
+	var cfg Config
+	cfg.Enabled[OptSignedOverflow] = true
+	res := Optimize(f, cfg)
+	if !res.UsedOpts[OptSignedOverflow] {
+		t.Fatalf("fold not applied:\n%s", f)
+	}
+	if rets := retConsts(f); rets[1] {
+		t.Fatalf("check survived:\n%s", f)
+	}
+}
+
+func TestUnsignedNotFolded(t *testing.T) {
+	// Unsigned wraparound is defined; the check must survive even with
+	// every UB fold enabled.
+	f := build(t, `int f(unsigned int x) { if (x + 100 < x) return 1; return 0; }`)
+	Optimize(f, EnableAll())
+	if rets := retConsts(f); !rets[1] {
+		t.Fatalf("defined wraparound check was removed:\n%s", f)
+	}
+}
+
+func TestPtrOverflowFold(t *testing.T) {
+	f := build(t, `int f(char *p) { if (p + 100 < p) return 1; return 0; }`)
+	var cfg Config
+	cfg.Enabled[OptPtrOverflow] = true
+	Optimize(f, cfg)
+	if rets := retConsts(f); rets[1] {
+		t.Fatalf("pointer overflow check survived:\n%s", f)
+	}
+}
+
+func TestNullCheckElim(t *testing.T) {
+	f := build(t, `
+struct s { int a; };
+int f(struct s *p) {
+	p->a = 1;
+	if (!p)
+		return 1;
+	return 0;
+}
+`)
+	var cfg Config
+	cfg.Enabled[OptNullCheck] = true
+	Optimize(f, cfg)
+	if rets := retConsts(f); rets[1] {
+		t.Fatalf("null check survived:\n%s", f)
+	}
+}
+
+func TestNullCheckBeforeDerefKept(t *testing.T) {
+	// The stable ordering: check first, then deref. Must survive.
+	f := build(t, `
+struct s { int a; };
+int f(struct s *p) {
+	if (!p)
+		return 1;
+	p->a = 1;
+	return 0;
+}
+`)
+	Optimize(f, EnableAll())
+	if rets := retConsts(f); !rets[1] {
+		t.Fatalf("stable null check was removed:\n%s", f)
+	}
+}
+
+func TestValueRangeFold(t *testing.T) {
+	f := build(t, `
+int f(int x) {
+	if (x > 0) {
+		if (x + 100 < 0)
+			return 1;
+	}
+	return 0;
+}
+`)
+	var cfg Config
+	cfg.Enabled[OptValueRange] = true
+	Optimize(f, cfg)
+	if rets := retConsts(f); rets[1] {
+		t.Fatalf("range-based check survived:\n%s", f)
+	}
+}
+
+// TestPdecFoldCreatesInfiniteLoop reproduces the end-to-end
+// consequence of paper Fig. 13: after gcc-style folding of -k >= 0 to
+// true under k < 0, the INT_MIN guard vanishes and pdec recurses
+// forever. We demonstrate the guard's disappearance.
+func TestPdecFoldValueRange(t *testing.T) {
+	f := build(t, `
+int pdec(int k) {
+	if (k < 0) {
+		if (-k >= 0)
+			return 1; /* negate-and-recurse path */
+		return 2;     /* INT_MIN path */
+	}
+	return 0;
+}
+`)
+	var cfg Config
+	cfg.Enabled[OptValueRange] = true
+	Optimize(f, cfg)
+	rets := retConsts(f)
+	if rets[2] {
+		t.Fatalf("INT_MIN path should be folded away (check became true):\n%s", f)
+	}
+	if !rets[1] {
+		t.Fatalf("negate path must remain:\n%s", f)
+	}
+}
+
+func TestShiftFold(t *testing.T) {
+	f := build(t, `int f(int x) { if (!(1 << x)) return 1; return 0; }`)
+	var cfg Config
+	cfg.Enabled[OptShift] = true
+	Optimize(f, cfg)
+	if rets := retConsts(f); rets[1] {
+		t.Fatalf("shift check survived:\n%s", f)
+	}
+}
+
+func TestAbsFold(t *testing.T) {
+	f := build(t, `int f(int x) { if (abs(x) < 0) return 1; return 0; }`)
+	var cfg Config
+	cfg.Enabled[OptAbs] = true
+	Optimize(f, cfg)
+	if rets := retConsts(f); rets[1] {
+		t.Fatalf("abs check survived:\n%s", f)
+	}
+}
+
+// TestOptimizedSemanticsPreservedOnDefinedInputs: on inputs that do
+// not trigger UB, the optimized function must agree with the original
+// (the legality condition of Def. 1).
+func TestOptimizedSemanticsPreserved(t *testing.T) {
+	src := `
+int f(int x) {
+	if (x + 100 < x)
+		return 1;
+	if (x > 10)
+		return 2;
+	return 3;
+}
+`
+	orig := build(t, src)
+	optd := build(t, src)
+	Optimize(optd, EnableAll())
+	for _, in := range []uint64{0, 5, 11, 100, 0x7FFFFF00} {
+		// 0x7FFFFF00 + 100 does not overflow int32; all listed inputs
+		// are UB-free.
+		r1, err1 := ir.Exec(orig, []uint64{in}, ir.ExecOptions{})
+		r2, err2 := ir.Exec(optd, []uint64{in}, ir.ExecOptions{})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("exec: %v %v", err1, err2)
+		}
+		if r1.Ret != r2.Ret {
+			t.Fatalf("input %d: original %d, optimized %d", in, r1.Ret, r2.Ret)
+		}
+	}
+}
+
+// TestOptimizedDivergesOnUBInput: on the UB-triggering input the
+// optimized program may differ — that is precisely what makes the
+// code unstable.
+func TestOptimizedDivergesOnUBInput(t *testing.T) {
+	src := `
+int f(int x) {
+	if (x + 100 < x)
+		return 1;
+	return 0;
+}
+`
+	orig := build(t, src)
+	optd := build(t, src)
+	Optimize(optd, EnableAll())
+	in := uint64(0x7FFFFFFF) // INT_MAX: x+100 overflows
+	r1, _ := ir.Exec(orig, []uint64{in}, ir.ExecOptions{})
+	r2, _ := ir.Exec(optd, []uint64{in}, ir.ExecOptions{})
+	if r1.Ret != 1 {
+		t.Fatalf("C* semantics: check должен fire, got %d", r1.Ret)
+	}
+	if r2.Ret != 0 {
+		t.Fatalf("optimized: check should be gone, got %d", r2.Ret)
+	}
+}
+
+func TestBoolCompareNormalization(t *testing.T) {
+	f := build(t, `int f(int *p) { *p = 1; if (!!p) return 1; return 0; }`)
+	var cfg Config
+	cfg.Enabled[OptNullCheck] = true
+	Optimize(f, cfg)
+	// !!p after a deref folds to true, so return 0 disappears.
+	if rets := retConsts(f); rets[0] {
+		t.Fatalf("double-negation null check survived:\n%s", f)
+	}
+}

@@ -1,0 +1,92 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by activity, with an
+// index map for decrease/increase-key. It implements the VSIDS
+// decision order.
+type varHeap struct {
+	act   *[]float64
+	heap  []Var
+	index []int // var -> position in heap, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) less(i, j int) bool {
+	return (*h.act)[h.heap[i]] > (*h.act)[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.index[h.heap[i]] = i
+	h.index[h.heap[j]] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// insert adds v to the heap if absent.
+func (h *varHeap) insert(v Var) {
+	for int(v) >= len(h.index) {
+		h.index = append(h.index, -1)
+	}
+	if h.index[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v Var) {
+	if int(v) < len(h.index) && h.index[v] >= 0 {
+		h.up(h.index[v])
+	}
+}
+
+// removeMax pops the highest-activity variable.
+func (h *varHeap) removeMax() (Var, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.index[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }

@@ -1,0 +1,769 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with two-literal watching, VSIDS-style activity ordering,
+// first-UIP clause learning, Luby restarts, and solving under
+// assumptions. It is the propositional engine underneath the bit-vector
+// solver in internal/bv, standing in for the SAT core of Boolector,
+// which the STACK paper used to decide elimination and simplification
+// queries.
+package sat
+
+import (
+	"errors"
+	"time"
+)
+
+// Var is a propositional variable, numbered from 0.
+type Var int
+
+// Lit is a literal: a variable together with a sign. The encoding is
+// the usual one (var<<1 | sign), where sign 1 means negated.
+type Lit int
+
+// NewLit returns the literal for v, negated if neg is true.
+func NewLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the variable of the literal.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Status is the outcome of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver gave up (deadline exceeded or budget
+	// exhausted) before reaching a verdict.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is
+	// unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrTimeout is returned by Solve when the configured deadline expires.
+var ErrTimeout = errors.New("sat: solve deadline exceeded")
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) neg() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+type varInfo struct {
+	reason *clause // antecedent clause, nil for decisions/assumptions
+	level  int
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	nVars        int
+	clauses      []*clause
+	learnts      []*clause
+	watches      [][]watcher // indexed by Lit
+	assign       []lbool     // indexed by Var
+	info         []varInfo   // indexed by Var
+	trail        []Lit
+	trailLim     []int // decision-level boundaries in trail
+	qhead        int
+	activity     []float64
+	varInc       float64
+	claInc       float64
+	order        *varHeap
+	seen         []bool
+	model        []lbool
+	conflCore    []Lit // failed assumptions after Unsat under assumptions
+	ok           bool  // false once the clause DB is unsat at level 0
+	numAssumed   int   // decision levels occupied by assumptions
+	Propagations int64
+	Conflicts    int64
+	Decisions    int64
+	// Deadline, if nonzero, bounds a single Solve call.
+	Deadline time.Time
+	// MaxConflicts, if nonzero, bounds the number of conflicts per
+	// Solve call before returning Unknown.
+	MaxConflicts int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar allocates and returns a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(s.nVars)
+	s.nVars++
+	s.watches = append(s.watches, nil, nil)
+	s.assign = append(s.assign, lUndef)
+	s.info = append(s.info, varInfo{})
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.order.insert(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem (non-learned) clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if l.Neg() {
+		return v.neg()
+	}
+	return v
+}
+
+// AddClause adds a clause (a disjunction of literals) to the solver.
+// It returns false if the clause database is already unsatisfiable.
+// Adding an empty clause makes the database unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Normalize: drop duplicate and false literals, detect tautology.
+	out := lits[:0:len(lits)]
+	out = append(out, lits...)
+	// Sort-free dedup for small clauses.
+	norm := make([]Lit, 0, len(out))
+loop:
+	for _, l := range out {
+		if int(l.Var()) >= s.nVars {
+			panic("sat: literal references unallocated variable")
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // satisfied at level 0
+		case lFalse:
+			continue // drop
+		}
+		for _, m := range norm {
+			if m == l {
+				continue loop
+			}
+			if m == l.Not() {
+				return true // tautology
+			}
+		}
+		norm = append(norm, l)
+	}
+	switch len(norm) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(norm[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: norm}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].Not(), c)
+	s.removeWatch(c.lits[1].Not(), c)
+}
+
+func (s *Solver) removeWatch(l Lit, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, reason *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.info[v] = varInfo{reason: reason, level: s.decisionLevel()}
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+// propagate performs unit propagation; it returns a conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if confl != nil {
+				kept = append(kept, w)
+				continue
+			}
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Make sure the false literal is at lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+				continue
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for asserting literal
+	pathC := 0
+	var p Lit = -1
+	var touched []Var // every var whose seen flag was set
+	idx := len(s.trail) - 1
+	for {
+		if confl.learned {
+			s.bumpClause(confl)
+		}
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.seen[v] && s.info[v].level > 0 {
+				s.seen[v] = true
+				touched = append(touched, v)
+				s.bumpVar(v)
+				if s.info[v].level >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find next literal to inspect.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		confl = s.info[v].reason
+		s.seen[v] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+	// Clause minimization: remove literals implied by the rest.
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if !s.redundant(l) {
+			out = append(out, l)
+		}
+	}
+	learnt = out
+	// Clear every seen flag set above, including literals dropped by
+	// minimization; stale flags would corrupt the next analysis.
+	for _, v := range touched {
+		s.seen[v] = false
+	}
+	// Compute backtrack level: the max level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.info[learnt[i].Var()].level > s.info[learnt[maxI].Var()].level {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.info[learnt[1].Var()].level
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal l in a learned clause is implied by
+// the remaining literals (simple local minimization: its reason's
+// literals are all already seen).
+func (s *Solver) redundant(l Lit) bool {
+	r := s.info[l.Var()].reason
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if !s.seen[q.Var()] && s.info[q.Var()].level > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.info[v] = varInfo{}
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchLit() Lit {
+	for {
+		v, ok := s.order.removeMax()
+		if !ok {
+			return -1
+		}
+		if s.assign[v] == lUndef {
+			s.Decisions++
+			// Negative-polarity default works well for bit-blasted
+			// circuits (most signals are 0 in minimal models).
+			return NewLit(v, true)
+		}
+	}
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int64) int64 {
+	for {
+		var k uint = 1
+		for ; (1<<k)-1 < i; k++ {
+		}
+		if (1<<k)-1 == i {
+			return 1 << (k - 1)
+		}
+		i = i - (1 << (k - 1)) + 1
+	}
+}
+
+// reduceDB removes half of the learned clauses, preferring low activity.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 100 {
+		return
+	}
+	// Partial selection: simple threshold on median activity.
+	acts := make([]float64, len(s.learnts))
+	for i, c := range s.learnts {
+		acts[i] = c.act
+	}
+	med := quickMedian(acts)
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if len(c.lits) == 2 || c.act >= med || s.locked(c) {
+			kept = append(kept, c)
+			continue
+		}
+		s.detach(c)
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) locked(c *clause) bool {
+	return s.value(c.lits[0]) == lTrue && s.info[c.lits[0].Var()].reason == c
+}
+
+func quickMedian(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Selection by partial sort of a copy (n is small; simplicity wins).
+	cp := append([]float64(nil), xs...)
+	k := len(cp) / 2
+	lo, hi := 0, len(cp)-1
+	for lo < hi {
+		p := cp[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for cp[i] < p {
+				i++
+			}
+			for cp[j] > p {
+				j--
+			}
+			if i <= j {
+				cp[i], cp[j] = cp[j], cp[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return cp[k]
+}
+
+// Solve determines satisfiability of the clause database under the
+// given assumptions. On Sat, a model is available via ModelValue. On
+// Unsat under assumptions, FailedAssumptions returns a subset of the
+// assumptions sufficient for unsatisfiability.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		s.conflCore = nil
+		return Unsat
+	}
+	defer func() {
+		s.backtrackTo(0)
+		s.numAssumed = 0
+	}()
+	s.conflCore = nil
+	s.numAssumed = 0
+	var restarts int64
+	conflictsAtStart := s.Conflicts
+	checkEvery := int64(256)
+	for {
+		restarts++
+		budget := 32 * luby(restarts)
+		res := s.search(assumptions, budget, conflictsAtStart, checkEvery)
+		if res != Unknown {
+			return res
+		}
+		if !s.ok {
+			return Unsat
+		}
+		if s.exhausted(conflictsAtStart) {
+			return Unknown
+		}
+		s.backtrackTo(0)
+		s.numAssumed = 0
+	}
+}
+
+func (s *Solver) exhausted(conflictsAtStart int64) bool {
+	if s.MaxConflicts > 0 && s.Conflicts-conflictsAtStart >= s.MaxConflicts {
+		return true
+	}
+	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+		return true
+	}
+	return false
+}
+
+// search runs CDCL until a verdict, a conflict budget is exhausted
+// (returns Unknown for restart), or the global budget/deadline is hit.
+func (s *Solver) search(assumptions []Lit, budget, conflictsAtStart, checkEvery int64) Status {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			// If all decisions so far are assumptions, the
+			// assumptions are jointly inconsistent.
+			if s.decisionLevel() <= s.numAssumed {
+				s.analyzeFinal(confl, assumptions)
+				return Unsat
+			}
+			learnt, bt := s.analyze(confl)
+			if bt < s.numAssumed {
+				bt = s.numAssumed
+				// Re-deciding the assumptions will re-derive the
+				// conflict if it is at assumption level.
+			}
+			s.backtrackTo(bt)
+			if len(learnt) == 1 {
+				s.backtrackTo(0)
+				s.numAssumed = 0
+				if s.value(learnt[0]) == lFalse {
+					s.ok = false
+					return Unsat
+				}
+				if s.value(learnt[0]) == lUndef {
+					s.uncheckedEnqueue(learnt[0], nil)
+				}
+			} else {
+				c := &clause{lits: learnt, learned: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				if s.value(learnt[0]) == lUndef {
+					s.uncheckedEnqueue(learnt[0], c)
+				}
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if conflicts%checkEvery == 0 && s.exhausted(conflictsAtStart) {
+				return Unknown
+			}
+			if conflicts >= budget {
+				return Unknown // restart
+			}
+			continue
+		}
+		if int64(len(s.learnts)) > int64(len(s.clauses))/2+8192 {
+			s.reduceDB()
+		}
+		// Select next decision: pending assumptions first.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				s.newDecisionLevel() // trivially satisfied; dummy level
+				s.numAssumed = s.decisionLevel()
+				continue
+			case lFalse:
+				s.finalFromAssumption(a, assumptions)
+				return Unsat
+			}
+			s.newDecisionLevel()
+			s.numAssumed = s.decisionLevel()
+			s.uncheckedEnqueue(a, nil)
+			continue
+		}
+		next := s.pickBranchLit()
+		if next == -1 {
+			// All variables assigned: model found.
+			s.model = append(s.model[:0], s.assign...)
+			return Sat
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// analyzeFinal computes the subset of assumptions responsible for a
+// conflict while all decisions are assumptions.
+func (s *Solver) analyzeFinal(confl *clause, assumptions []Lit) {
+	isAssumption := make(map[Lit]bool, len(assumptions))
+	for _, a := range assumptions {
+		isAssumption[a] = true
+	}
+	core := map[Lit]bool{}
+	var mark func(c *clause)
+	seen := make([]bool, s.nVars)
+	var stack []Var
+	push := func(l Lit) {
+		v := l.Var()
+		if !seen[v] && s.info[v].level > 0 {
+			seen[v] = true
+			stack = append(stack, v)
+		}
+	}
+	mark = func(c *clause) {
+		for _, q := range c.lits {
+			push(q)
+		}
+	}
+	mark(confl)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r := s.info[v].reason
+		if r == nil {
+			// Decision (assumption) variable.
+			for _, a := range assumptions {
+				if a.Var() == v {
+					core[a] = true
+				}
+			}
+			continue
+		}
+		mark(r)
+	}
+	s.conflCore = s.conflCore[:0]
+	for _, a := range assumptions {
+		if core[a] {
+			s.conflCore = append(s.conflCore, a)
+		}
+	}
+}
+
+// finalFromAssumption handles the case where an assumption is already
+// false when it is about to be decided.
+func (s *Solver) finalFromAssumption(a Lit, assumptions []Lit) {
+	// The negation of a was derived; walk its implication graph.
+	s.conflCore = s.conflCore[:0]
+	v := a.Var()
+	if s.info[v].reason == nil {
+		// a conflicts with an earlier assumption directly.
+		s.conflCore = append(s.conflCore, a)
+		for _, b := range assumptions {
+			if b == a.Not() {
+				s.conflCore = append(s.conflCore, b)
+			}
+		}
+		return
+	}
+	seen := make([]bool, s.nVars)
+	stack := []Var{v}
+	seen[v] = true
+	core := map[Lit]bool{a: true}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r := s.info[u].reason
+		if r == nil {
+			for _, b := range assumptions {
+				if b.Var() == u {
+					core[b] = true
+				}
+			}
+			continue
+		}
+		for _, q := range r.lits {
+			w := q.Var()
+			if !seen[w] && s.info[w].level > 0 {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	for _, b := range assumptions {
+		if core[b] {
+			s.conflCore = append(s.conflCore, b)
+		}
+	}
+}
+
+// ModelValue returns the value of v in the most recent satisfying
+// assignment. It must only be called after Solve returned Sat.
+func (s *Solver) ModelValue(v Var) bool {
+	return s.model[v] == lTrue
+}
+
+// FailedAssumptions returns, after Solve returned Unsat under
+// assumptions, a subset of the assumptions that is sufficient for
+// unsatisfiability. The slice is valid until the next Solve call.
+func (s *Solver) FailedAssumptions() []Lit { return s.conflCore }
