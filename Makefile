@@ -1,0 +1,30 @@
+# Development targets; `make ci` mirrors .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short smoke run of the Figure 16 Kerberos profile plus the parallel
+# sweep benchmark (speedup-vs-serial / rewrite-hit-rate metrics).
+bench-smoke:
+	$(GO) test -run NONE -bench 'BenchmarkFig16Kerberos|BenchmarkSweepParallel' -benchtime=1x
+
+# Full paper-figure regeneration (see EXPERIMENTS.md).
+bench:
+	$(GO) test -run NONE -bench . -benchmem
+
+ci: vet build race bench-smoke

@@ -6,6 +6,7 @@ package repro
 // paper's numbers. EXPERIMENTS.md maps each benchmark to its figure.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -178,6 +179,51 @@ func benchFig16(b *testing.B, files, funcs int, seed int64) {
 	b.ReportMetric(float64(res.Timeouts), "query-timeouts")
 	b.ReportMetric(res.BuildTime.Seconds(), "build-sec")
 	b.ReportMetric(res.AnalysisTime.Seconds(), "analysis-sec")
+	b.ReportMetric(float64(res.RewriteHits), "rewrite-hits")
+}
+
+// BenchmarkSweepParallel measures the worker-pool sweep pipeline
+// against a serial (Workers=1) baseline on the same archive, emitting
+// the parallel speedup and the word-level rewrite layer's hit rate
+// (rewrites per term-construction). Results are byte-identical across
+// worker counts — only the wall clock changes.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := corpus.ArchiveConfig{
+		Packages: 1, FilesPerPackage: 64, FuncsPerFile: 6,
+		UnstableFraction: 1, Seed: 16,
+	}
+	pkgs := corpus.GenerateArchive(cfg)
+	opts := checkerOpts()
+
+	// Serial baseline: best of two runs, so first-run warmup costs
+	// (allocator growth, cold caches) don't inflate the speedup.
+	var serial time.Duration
+	for i := 0; i < 2; i++ {
+		t0 := time.Now()
+		if _, err := (&corpus.Sweeper{Options: opts, Workers: 1}).Run(pkgs); err != nil {
+			b.Fatal(err)
+		}
+		if d := time.Since(t0); i == 0 || d < serial {
+			serial = d
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	sweeper := &corpus.Sweeper{Options: opts, Workers: workers}
+	var res *corpus.SweepResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sweeper.Run(pkgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	perOp := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(serial.Seconds()/perOp.Seconds(), "speedup-vs-serial")
+	b.ReportMetric(float64(res.RewriteHits)/float64(res.RewriteHits+res.TermsCreated), "rewrite-hit-rate")
+	b.ReportMetric(float64(res.Queries), "queries")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // BenchmarkFig17ReportsByAlgorithm reproduces the Figure 17 breakdown:

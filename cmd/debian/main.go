@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	debian [-packages N] [-files N] [-funcs N] [-seed N] [-perf]
+//	debian [-packages N] [-files N] [-funcs N] [-seed N] [-j N] [-perf]
 //
 // With -perf it instead runs the three Figure 16 package profiles
 // (Kerberos-, Postgres-, and Linux-sized) and prints the table rows.
+// -j sets the sweep worker count (default: one per CPU). All counts
+// and reports in the output are identical for any value, as long as no
+// query hits the 5-second timeout (see corpus.Sweeper); only the
+// build/analysis timing line varies, being a measured duration.
 package main
 
 import (
@@ -27,6 +31,7 @@ func main() {
 	funcs := flag.Int("funcs", corpus.DefaultArchive.FuncsPerFile, "functions per file")
 	seed := flag.Int64("seed", corpus.DefaultArchive.Seed, "generator seed")
 	perf := flag.Bool("perf", false, "run the Figure 16 performance profiles")
+	jobs := flag.Int("j", 0, "sweep workers (0 = one per CPU)")
 	flag.Parse()
 
 	opts := core.Options{
@@ -49,9 +54,10 @@ func main() {
 		}
 		fmt.Printf("%-16s %12s %14s %8s %10s %10s\n",
 			"package", "build time", "analysis time", "files", "queries", "timeouts")
+		sweeper := &corpus.Sweeper{Options: opts, Workers: *jobs}
 		for _, p := range profiles {
 			pkgs := corpus.GenerateArchive(p.cfg)
-			res, err := corpus.Sweep(pkgs, opts)
+			res, err := sweeper.Run(pkgs)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "debian: %v\n", err)
 				os.Exit(1)
@@ -72,7 +78,8 @@ func main() {
 		Seed:             *seed,
 	}
 	pkgs := corpus.GenerateArchive(cfg)
-	res, err := corpus.Sweep(pkgs, opts)
+	sweeper := &corpus.Sweeper{Options: opts, Workers: *jobs}
+	res, err := sweeper.Run(pkgs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "debian: %v\n", err)
 		os.Exit(1)

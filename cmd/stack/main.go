@@ -16,12 +16,18 @@
 //	-no-inline          skip function inlining
 //	-classify           print the §6.2 category for each report
 //	-stats              print checker statistics (queries, timeouts)
+//	-j N                check N inputs concurrently (0 = one per CPU);
+//	                    output order and content are independent of N
+//	                    as long as no query hits the -timeout deadline
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cc"
@@ -33,6 +39,7 @@ import (
 
 func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-query solver timeout")
+	jobs := flag.Int("j", 0, "concurrent checking workers (0 = one per CPU)")
 	noFilter := flag.Bool("no-filter", false, "keep reports for macro/inline-generated code")
 	noMinsets := flag.Bool("no-minsets", false, "skip minimal UB-set computation")
 	noInline := flag.Bool("no-inline", false, "skip function inlining")
@@ -55,10 +62,9 @@ func main() {
 			NoDeleteNullPointerChecks: *fnoNull,
 		},
 	}
-	checker := core.New(opts)
 	exit := 0
 
-	emit := func(name string, reports []*core.Report) {
+	emit := func(reports []*core.Report) {
 		for _, r := range reports {
 			fmt.Println(r)
 			if *classify {
@@ -70,46 +76,102 @@ func main() {
 		}
 	}
 
-	if *runCorpus {
-		total := 0
-		for _, ss := range corpus.GenerateFig9() {
-			reports, err := checkSource(checker, ss.System+".c", ss.Source)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "stack: %s: %v\n", ss.System, err)
-				os.Exit(2)
-			}
-			fmt.Printf("=== %s: %d report(s), %d planted bug(s)\n", ss.System, len(reports), len(ss.Bugs))
-			emit(ss.System, reports)
-			total += len(reports)
-		}
-		fmt.Printf("total: %d report(s)\n", total)
+	// Gather every input up front, then check them concurrently (-j)
+	// with one checker per worker; results print in input order.
+	type unit struct {
+		name    string // display name (system or path)
+		file    string // parse name
+		src     string
+		corpus  bool
+		planted int
 	}
-
+	var units []unit
+	if *runCorpus {
+		for _, ss := range corpus.GenerateFig9() {
+			units = append(units, unit{
+				name: ss.System, file: ss.System + ".c", src: ss.Source,
+				corpus: true, planted: len(ss.Bugs),
+			})
+		}
+	}
 	for _, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stack: %v\n", err)
 			os.Exit(2)
 		}
-		reports, err := checkSource(checker, path, string(src))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "stack: %v\n", err)
+		units = append(units, unit{name: path, file: path, src: string(src)})
+	}
+	if len(units) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: stack [flags] file.c... (or -corpus); see -h")
+		os.Exit(2)
+	}
+
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	results := make([][]*core.Report, len(units))
+	errs := make([]error, len(units))
+	workerStats := make([]core.Stats, workers)
+	idxCh := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			checker := core.New(opts)
+			for i := range idxCh {
+				// Fail fast: once any input has errored, skip the
+				// remaining work. Units are dequeued in input order, so
+				// skipped units always come after the earliest error —
+				// the output loop below exits before reaching them.
+				if failed.Load() {
+					continue
+				}
+				results[i], errs[i] = checkSource(checker, units[i].file, units[i].src)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+			workerStats[w] = checker.Stats()
+		}(w)
+	}
+	for i := range units {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	total := 0
+	for i, u := range units {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "stack: %s: %v\n", u.name, errs[i])
 			os.Exit(2)
 		}
-		if len(reports) == 0 {
-			fmt.Printf("%s: no unstable code found\n", path)
+		if u.corpus {
+			fmt.Printf("=== %s: %d report(s), %d planted bug(s)\n", u.name, len(results[i]), u.planted)
+			total += len(results[i])
+		} else if len(results[i]) == 0 {
+			fmt.Printf("%s: no unstable code found\n", u.name)
 		}
-		emit(path, reports)
+		emit(results[i])
+	}
+	if *runCorpus {
+		fmt.Printf("total: %d report(s)\n", total)
 	}
 
 	if *stats {
-		st := checker.Stats()
-		fmt.Printf("functions analyzed: %d\nblocks: %d\nsolver queries: %d\nquery timeouts: %d\n",
-			st.Functions, st.Blocks, st.Queries, st.Timeouts)
-	}
-	if !*runCorpus && flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: stack [flags] file.c... (or -corpus); see -h")
-		os.Exit(2)
+		var st core.Stats
+		for _, ws := range workerStats {
+			st.Add(ws)
+		}
+		fmt.Printf("functions analyzed: %d\nblocks: %d\nsolver queries: %d\nquery timeouts: %d\nrewrite hits: %d\nsolver fast paths: %d\n",
+			st.Functions, st.Blocks, st.Queries, st.Timeouts, st.RewriteHits, st.FastPaths)
 	}
 	os.Exit(exit)
 }

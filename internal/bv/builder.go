@@ -13,9 +13,14 @@ type Builder struct {
 	consts map[constKey]*Term
 	vars   map[string]*Term
 	nextID int
-	// Stats
+	// Stats.
+	//
+	// TermsCreated counts interned nodes; CacheHits counts hash-consing
+	// hits; RewriteHits counts constructions answered by the word-level
+	// rewrite engine (rewrite.go) without creating a new node.
 	TermsCreated int
 	CacheHits    int
+	RewriteHits  int
 }
 
 type key struct {
@@ -122,11 +127,20 @@ func (b *Builder) binary(op Op, x, y *Term) *Term {
 	if x.width != y.width {
 		panic(fmt.Sprintf("bv: width mismatch %d vs %d in %v", x.width, y.width, op))
 	}
+	// Canonicalize commutative operations so a lone constant operand
+	// sits on the right: the rewrite rules only inspect y, and the
+	// interned node is shared between c⊕x and x⊕c.
+	if x.op == OpConst && y.op != OpConst {
+		switch op {
+		case OpAnd, OpOr, OpXor, OpAdd, OpMul, OpEq:
+			x, y = y, x
+		}
+	}
 	w := x.width
 	if op == OpEq || op == OpULT || op == OpULE || op == OpSLT || op == OpSLE {
 		w = 1
 	}
-	if t := b.foldBinary(op, x, y, w); t != nil {
+	if t := b.rewriteBinary(op, x, y); t != nil {
 		return t
 	}
 	return b.intern(&Term{op: op, width: w, args: []*Term{x, y}})
@@ -136,20 +150,16 @@ func (b *Builder) binary(op Op, x, y *Term) *Term {
 
 // Not returns bitwise complement.
 func (b *Builder) Not(x *Term) *Term {
-	if x.op == OpConst {
-		v := new(big.Int).Xor(x.val, mask(x.width))
-		return b.Const(v, x.width)
-	}
-	if x.op == OpNot {
-		return x.args[0] // ¬¬x = x
+	if t := b.rewriteNot(x); t != nil {
+		return t
 	}
 	return b.intern(&Term{op: OpNot, width: x.width, args: []*Term{x}})
 }
 
 // Neg returns two's-complement negation.
 func (b *Builder) Neg(x *Term) *Term {
-	if x.op == OpConst {
-		return b.Const(new(big.Int).Neg(x.val), x.width)
+	if t := b.rewriteNeg(x); t != nil {
+		return t
 	}
 	return b.intern(&Term{op: OpNeg, width: x.width, args: []*Term{x}})
 }
@@ -202,14 +212,8 @@ func (b *Builder) ITE(cond, x, y *Term) *Term {
 	if x.width != y.width {
 		panic("bv: ITE arm width mismatch")
 	}
-	if cond.op == OpConst {
-		if cond.val.Sign() != 0 {
-			return x
-		}
-		return y
-	}
-	if x == y {
-		return x
+	if t := b.rewriteITE(cond, x, y); t != nil {
+		return t
 	}
 	return b.intern(&Term{op: OpITE, width: x.width, args: []*Term{cond, x, y}})
 }
@@ -222,8 +226,8 @@ func (b *Builder) ZExt(x *Term, w int) *Term {
 	if w == x.width {
 		return x
 	}
-	if x.op == OpConst {
-		return b.Const(x.val, w)
+	if t := b.rewriteZExt(x, w); t != nil {
+		return t
 	}
 	return b.intern(&Term{op: OpZExt, width: w, args: []*Term{x}})
 }
@@ -236,12 +240,8 @@ func (b *Builder) SExt(x *Term, w int) *Term {
 	if w == x.width {
 		return x
 	}
-	if x.op == OpConst {
-		v := new(big.Int).Set(x.val)
-		if v.Bit(x.width-1) == 1 {
-			v.Sub(v, new(big.Int).Lsh(big.NewInt(1), uint(x.width)))
-		}
-		return b.Const(v, w)
+	if t := b.rewriteSExt(x, w); t != nil {
+		return t
 	}
 	return b.intern(&Term{op: OpSExt, width: w, args: []*Term{x}})
 }
@@ -255,19 +255,16 @@ func (b *Builder) Extract(x *Term, hi, lo int) *Term {
 	if w == x.width {
 		return x
 	}
-	if x.op == OpConst {
-		v := new(big.Int).Rsh(x.val, uint(lo))
-		return b.Const(v, w)
+	if t := b.rewriteExtract(x, hi, lo); t != nil {
+		return t
 	}
 	return b.intern(&Term{op: OpExtract, width: w, lo: lo, args: []*Term{x}})
 }
 
 // Concat returns hi ++ lo (hi occupies the most significant bits).
 func (b *Builder) Concat(hi, lo *Term) *Term {
-	if hi.op == OpConst && lo.op == OpConst {
-		v := new(big.Int).Lsh(hi.val, uint(lo.width))
-		v.Or(v, lo.val)
-		return b.Const(v, hi.width+lo.width)
+	if t := b.rewriteConcat(hi, lo); t != nil {
+		return t
 	}
 	return b.intern(&Term{op: OpConcat, width: hi.width + lo.width, args: []*Term{hi, lo}})
 }
@@ -294,207 +291,4 @@ func (b *Builder) OrN(ts ...*Term) *Term {
 		acc = b.Or(acc, t)
 	}
 	return acc
-}
-
-// --- Constant folding -----------------------------------------------------
-
-func toSigned(v *big.Int, width int) *big.Int {
-	r := new(big.Int).Set(v)
-	if r.Bit(width-1) == 1 {
-		r.Sub(r, new(big.Int).Lsh(big.NewInt(1), uint(width)))
-	}
-	return r
-}
-
-// foldBinary returns a folded/simplified term or nil.
-func (b *Builder) foldBinary(op Op, x, y *Term, resW int) *Term {
-	cx, cy := x.op == OpConst, y.op == OpConst
-	if cx && cy {
-		return b.evalConstBinary(op, x, y, resW)
-	}
-	// Algebraic identities on one constant operand.
-	switch op {
-	case OpAnd:
-		if cx {
-			x, y, cx, cy = y, x, cy, cx
-		}
-		if cy {
-			if y.val.Sign() == 0 {
-				return y // x & 0 = 0
-			}
-			if y.val.Cmp(mask(y.width)) == 0 {
-				return x // x & ~0 = x
-			}
-		}
-		if x == y {
-			return x
-		}
-	case OpOr:
-		if cx {
-			x, y, cx, cy = y, x, cy, cx
-		}
-		if cy {
-			if y.val.Sign() == 0 {
-				return x // x | 0 = x
-			}
-			if y.val.Cmp(mask(y.width)) == 0 {
-				return y // x | ~0 = ~0
-			}
-		}
-		if x == y {
-			return x
-		}
-	case OpXor:
-		if x == y {
-			return b.Const(big.NewInt(0), x.width)
-		}
-		if cy && y.val.Sign() == 0 {
-			return x
-		}
-		if cx && x.val.Sign() == 0 {
-			return y
-		}
-	case OpAdd:
-		if cy && y.val.Sign() == 0 {
-			return x
-		}
-		if cx && x.val.Sign() == 0 {
-			return y
-		}
-	case OpSub:
-		if cy && y.val.Sign() == 0 {
-			return x
-		}
-		if x == y {
-			return b.Const(big.NewInt(0), x.width)
-		}
-	case OpMul:
-		if cy {
-			if y.val.Sign() == 0 {
-				return y
-			}
-			if y.val.Cmp(big.NewInt(1)) == 0 {
-				return x
-			}
-		}
-		if cx {
-			if x.val.Sign() == 0 {
-				return x
-			}
-			if x.val.Cmp(big.NewInt(1)) == 0 {
-				return y
-			}
-		}
-	case OpShl, OpLShr, OpAShr:
-		if cy && y.val.Sign() == 0 {
-			return x
-		}
-	case OpEq:
-		if x == y {
-			return b.Bool(true)
-		}
-	case OpULE:
-		if x == y {
-			return b.Bool(true)
-		}
-		if cx && x.val.Sign() == 0 {
-			return b.Bool(true) // 0 <=u y
-		}
-	case OpULT:
-		if x == y {
-			return b.Bool(false)
-		}
-		if cy && y.val.Sign() == 0 {
-			return b.Bool(false) // x <u 0
-		}
-	case OpSLE:
-		if x == y {
-			return b.Bool(true)
-		}
-	case OpSLT:
-		if x == y {
-			return b.Bool(false)
-		}
-	}
-	return nil
-}
-
-func (b *Builder) evalConstBinary(op Op, x, y *Term, resW int) *Term {
-	w := x.width
-	xv, yv := x.val, y.val
-	boolT := func(v bool) *Term { return b.Bool(v) }
-	switch op {
-	case OpAnd:
-		return b.Const(new(big.Int).And(xv, yv), w)
-	case OpOr:
-		return b.Const(new(big.Int).Or(xv, yv), w)
-	case OpXor:
-		return b.Const(new(big.Int).Xor(xv, yv), w)
-	case OpAdd:
-		return b.Const(new(big.Int).Add(xv, yv), w)
-	case OpSub:
-		return b.Const(new(big.Int).Sub(xv, yv), w)
-	case OpMul:
-		return b.Const(new(big.Int).Mul(xv, yv), w)
-	case OpUDiv:
-		if yv.Sign() == 0 {
-			return b.Const(mask(w), w)
-		}
-		return b.Const(new(big.Int).Div(xv, yv), w)
-	case OpURem:
-		if yv.Sign() == 0 {
-			return b.Const(xv, w)
-		}
-		return b.Const(new(big.Int).Mod(xv, yv), w)
-	case OpSDiv:
-		xs, ys := toSigned(xv, w), toSigned(yv, w)
-		if ys.Sign() == 0 {
-			// SMT-LIB: bvsdiv by zero yields 1 if x negative else all-ones.
-			if xs.Sign() < 0 {
-				return b.Const(big.NewInt(1), w)
-			}
-			return b.Const(mask(w), w)
-		}
-		return b.Const(new(big.Int).Quo(xs, ys), w)
-	case OpSRem:
-		xs, ys := toSigned(xv, w), toSigned(yv, w)
-		if ys.Sign() == 0 {
-			return b.Const(xs, w)
-		}
-		return b.Const(new(big.Int).Rem(xs, ys), w)
-	case OpShl:
-		if yv.Cmp(big.NewInt(int64(w))) >= 0 {
-			return b.Const(big.NewInt(0), w)
-		}
-		return b.Const(new(big.Int).Lsh(xv, uint(yv.Uint64())), w)
-	case OpLShr:
-		if yv.Cmp(big.NewInt(int64(w))) >= 0 {
-			return b.Const(big.NewInt(0), w)
-		}
-		return b.Const(new(big.Int).Rsh(xv, uint(yv.Uint64())), w)
-	case OpAShr:
-		xs := toSigned(xv, w)
-		sh := uint(w)
-		if yv.Cmp(big.NewInt(int64(w))) < 0 {
-			sh = uint(yv.Uint64())
-		}
-		if sh >= uint(w) {
-			if xs.Sign() < 0 {
-				return b.Const(mask(w), w)
-			}
-			return b.Const(big.NewInt(0), w)
-		}
-		return b.Const(new(big.Int).Rsh(xs, sh), w)
-	case OpEq:
-		return boolT(xv.Cmp(yv) == 0)
-	case OpULT:
-		return boolT(xv.Cmp(yv) < 0)
-	case OpULE:
-		return boolT(xv.Cmp(yv) <= 0)
-	case OpSLT:
-		return boolT(toSigned(xv, w).Cmp(toSigned(yv, w)) < 0)
-	case OpSLE:
-		return boolT(toSigned(xv, w).Cmp(toSigned(yv, w)) <= 0)
-	}
-	panic(fmt.Sprintf("bv: evalConstBinary: unexpected op %v (result width %d)", op, resW))
 }

@@ -1,0 +1,400 @@
+package bv
+
+// Word-level term rewriting (Boolector-style "rewrite level 1/2"): every
+// constructor normalizes its operands before a node is interned, so
+// constant and trivially-decidable subterms collapse at construction
+// time and never reach the bit-blaster. For the STACK workload this is
+// the difference between answering a query with a table lookup and
+// running a full CDCL search: reachability and well-definedness terms
+// for straight-line code frequently fold to constants here, and
+// Solver.Solve short-circuits on them without touching the SAT core.
+//
+// Every rule in this file must be sound under SMT-LIB QF_BV semantics
+// for all operand values — rewrite_test.go checks each rule against a
+// concrete reference evaluator on random inputs. Rules that fire are
+// counted in Builder.RewriteHits (alongside the structural CacheHits of
+// hash consing).
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// hit records a successful rewrite and returns its result, so rules can
+// be written as one-liners.
+func (b *Builder) hit(t *Term) *Term {
+	b.RewriteHits++
+	return t
+}
+
+func toSigned(v *big.Int, width int) *big.Int {
+	r := new(big.Int).Set(v)
+	if r.Bit(width-1) == 1 {
+		r.Sub(r, new(big.Int).Lsh(big.NewInt(1), uint(width)))
+	}
+	return r
+}
+
+// isAllOnes reports whether a constant term is ~0 at its width.
+func isAllOnes(t *Term) bool {
+	return t.op == OpConst && t.val.Cmp(mask(t.width)) == 0
+}
+
+// complementary reports whether x = ¬y or y = ¬x structurally.
+func complementary(x, y *Term) bool {
+	return (x.op == OpNot && x.args[0] == y) || (y.op == OpNot && y.args[0] == x)
+}
+
+// smax / smin are the extreme signed constants at width w.
+func smax(w int) *big.Int {
+	m := big.NewInt(1)
+	m.Lsh(m, uint(w-1))
+	return m.Sub(m, big.NewInt(1))
+}
+
+func smin(w int) *big.Int {
+	m := big.NewInt(1)
+	return m.Lsh(m, uint(w-1))
+}
+
+// rewriteNot simplifies ¬x; nil means no rule applies.
+func (b *Builder) rewriteNot(x *Term) *Term {
+	if x.op == OpConst {
+		return b.hit(b.Const(new(big.Int).Xor(x.val, mask(x.width)), x.width))
+	}
+	if x.op == OpNot {
+		return b.hit(x.args[0]) // ¬¬x = x
+	}
+	return nil
+}
+
+// rewriteNeg simplifies -x.
+func (b *Builder) rewriteNeg(x *Term) *Term {
+	if x.op == OpConst {
+		return b.hit(b.Const(new(big.Int).Neg(x.val), x.width))
+	}
+	if x.op == OpNeg {
+		return b.hit(x.args[0]) // -(-x) = x
+	}
+	if x.op == OpSub {
+		return b.hit(b.Sub(x.args[1], x.args[0])) // -(a-b) = b-a
+	}
+	return nil
+}
+
+// rewriteITE simplifies ite(c, x, y).
+func (b *Builder) rewriteITE(cond, x, y *Term) *Term {
+	if cond.op == OpConst {
+		if cond.val.Sign() != 0 {
+			return b.hit(x)
+		}
+		return b.hit(y)
+	}
+	if x == y {
+		return b.hit(x)
+	}
+	if x.width == 1 && x.op == OpConst && y.op == OpConst {
+		// Boolean selection: ite(c, 1, 0) = c and ite(c, 0, 1) = ¬c.
+		if x.val.Sign() != 0 {
+			return b.hit(cond)
+		}
+		return b.hit(b.Not(cond))
+	}
+	if cond.op == OpNot {
+		return b.hit(b.ITE(cond.args[0], y, x)) // ite(¬c, x, y) = ite(c, y, x)
+	}
+	return nil
+}
+
+// rewriteZExt / rewriteSExt fold constant extensions. Width-preserving
+// extensions are handled by the constructors.
+func (b *Builder) rewriteZExt(x *Term, w int) *Term {
+	if x.op == OpConst {
+		return b.hit(b.Const(x.val, w))
+	}
+	return nil
+}
+
+func (b *Builder) rewriteSExt(x *Term, w int) *Term {
+	if x.op == OpConst {
+		return b.hit(b.Const(toSigned(x.val, x.width), w))
+	}
+	return nil
+}
+
+// rewriteExtract folds extraction from constants and nested extracts.
+func (b *Builder) rewriteExtract(x *Term, hi, lo int) *Term {
+	if x.op == OpConst {
+		return b.hit(b.Const(new(big.Int).Rsh(x.val, uint(lo)), hi-lo+1))
+	}
+	if x.op == OpExtract {
+		// (extract hi lo (extract _ lo')) = extract (hi+lo') (lo+lo')
+		return b.hit(b.Extract(x.args[0], hi+x.lo, lo+x.lo))
+	}
+	return nil
+}
+
+// rewriteConcat folds constant concatenation.
+func (b *Builder) rewriteConcat(hi, lo *Term) *Term {
+	if hi.op == OpConst && lo.op == OpConst {
+		v := new(big.Int).Lsh(hi.val, uint(lo.width))
+		v.Or(v, lo.val)
+		return b.hit(b.Const(v, hi.width+lo.width))
+	}
+	return nil
+}
+
+// rewriteBinary simplifies a binary operation; nil means no rule
+// applies and the caller interns a fresh node. The caller (binary) has
+// already canonicalized commutative operations so that a lone constant
+// operand sits on the right.
+func (b *Builder) rewriteBinary(op Op, x, y *Term) *Term {
+	cx, cy := x.op == OpConst, y.op == OpConst
+	if cx && cy {
+		return b.hit(b.evalConstBinary(op, x, y))
+	}
+	switch op {
+	case OpAnd:
+		if cy {
+			if y.val.Sign() == 0 {
+				return b.hit(y) // x & 0 = 0
+			}
+			if isAllOnes(y) {
+				return b.hit(x) // x & ~0 = x
+			}
+		}
+		if x == y {
+			return b.hit(x) // x & x = x
+		}
+		if complementary(x, y) {
+			return b.hit(b.Const(big.NewInt(0), x.width)) // x & ¬x = 0
+		}
+	case OpOr:
+		if cy {
+			if y.val.Sign() == 0 {
+				return b.hit(x) // x | 0 = x
+			}
+			if isAllOnes(y) {
+				return b.hit(y) // x | ~0 = ~0
+			}
+		}
+		if x == y {
+			return b.hit(x) // x | x = x
+		}
+		if complementary(x, y) {
+			return b.hit(b.Const(mask(x.width), x.width)) // x | ¬x = ~0
+		}
+	case OpXor:
+		if x == y {
+			return b.hit(b.Const(big.NewInt(0), x.width)) // x ^ x = 0
+		}
+		if cy {
+			if y.val.Sign() == 0 {
+				return b.hit(x) // x ^ 0 = x
+			}
+			if isAllOnes(y) {
+				return b.hit(b.Not(x)) // x ^ ~0 = ¬x
+			}
+		}
+		if complementary(x, y) {
+			return b.hit(b.Const(mask(x.width), x.width)) // x ^ ¬x = ~0
+		}
+	case OpAdd:
+		if cy && y.val.Sign() == 0 {
+			return b.hit(x) // x + 0 = x
+		}
+		if cy && x.op == OpAdd && x.args[1].op == OpConst {
+			// (a + c1) + c2 = a + (c1+c2): chain folding keeps long
+			// pointer-arithmetic sums one node deep. Subtraction chains
+			// funnel through here too, because the OpSub rule below
+			// normalizes every x - c to x + (-c) before interning.
+			c := new(big.Int).Add(x.args[1].val, y.val)
+			return b.hit(b.Add(x.args[0], b.Const(c, x.width)))
+		}
+	case OpSub:
+		if cy && y.val.Sign() == 0 {
+			return b.hit(x) // x - 0 = x
+		}
+		if x == y {
+			return b.hit(b.Const(big.NewInt(0), x.width)) // x - x = 0
+		}
+		if cx && x.val.Sign() == 0 {
+			return b.hit(b.Neg(y)) // 0 - y = -y
+		}
+		if cy {
+			// x - c = x + (-c): funnels constant subtraction into the
+			// OpAdd chain-folding rules above.
+			return b.hit(b.Add(x, b.Const(new(big.Int).Neg(y.val), x.width)))
+		}
+	case OpMul:
+		if cy {
+			if y.val.Sign() == 0 {
+				return b.hit(y) // x * 0 = 0
+			}
+			if y.val.Cmp(big.NewInt(1)) == 0 {
+				return b.hit(x) // x * 1 = x
+			}
+		}
+	case OpUDiv:
+		if cy && y.val.Cmp(big.NewInt(1)) == 0 {
+			return b.hit(x) // x /u 1 = x
+		}
+	case OpURem:
+		if cy && y.val.Cmp(big.NewInt(1)) == 0 {
+			return b.hit(b.Const(big.NewInt(0), x.width)) // x %u 1 = 0
+		}
+	case OpShl, OpLShr:
+		if cy {
+			if y.val.Sign() == 0 {
+				return b.hit(x) // x << 0 = x
+			}
+			if y.val.Cmp(big.NewInt(int64(x.width))) >= 0 {
+				return b.hit(b.Const(big.NewInt(0), x.width)) // oversized shift = 0
+			}
+		}
+	case OpAShr:
+		if cy && y.val.Sign() == 0 {
+			return b.hit(x)
+		}
+	case OpEq:
+		if x == y {
+			return b.hit(b.Bool(true))
+		}
+		if x.width == 1 {
+			if cy {
+				if y.val.Sign() != 0 {
+					return b.hit(x) // (x = true) = x
+				}
+				return b.hit(b.Not(x)) // (x = false) = ¬x
+			}
+		}
+		if complementary(x, y) {
+			return b.hit(b.Bool(false)) // x = ¬x is never true
+		}
+	case OpULE:
+		if x == y {
+			return b.hit(b.Bool(true))
+		}
+		if cx && x.val.Sign() == 0 {
+			return b.hit(b.Bool(true)) // 0 <=u y
+		}
+		if cy && isAllOnes(y) {
+			return b.hit(b.Bool(true)) // x <=u ~0
+		}
+		if cy && y.val.Sign() == 0 {
+			return b.hit(b.Eq(x, y)) // x <=u 0 ⇔ x = 0
+		}
+	case OpULT:
+		if x == y {
+			return b.hit(b.Bool(false))
+		}
+		if cy && y.val.Sign() == 0 {
+			return b.hit(b.Bool(false)) // x <u 0
+		}
+		if cx && isAllOnes(x) {
+			return b.hit(b.Bool(false)) // ~0 <u y
+		}
+	case OpSLE:
+		if x == y {
+			return b.hit(b.Bool(true))
+		}
+		if cx && x.val.Cmp(smin(x.width)) == 0 {
+			return b.hit(b.Bool(true)) // INT_MIN <=s y
+		}
+		if cy && y.val.Cmp(smax(y.width)) == 0 {
+			return b.hit(b.Bool(true)) // x <=s INT_MAX
+		}
+	case OpSLT:
+		if x == y {
+			return b.hit(b.Bool(false))
+		}
+		if cy && y.val.Cmp(smin(y.width)) == 0 {
+			return b.hit(b.Bool(false)) // x <s INT_MIN
+		}
+		if cx && x.val.Cmp(smax(x.width)) == 0 {
+			return b.hit(b.Bool(false)) // INT_MAX <s y
+		}
+	}
+	return nil
+}
+
+// evalConstBinary folds a binary operation over two constants. It is
+// total: every op with constant operands folds.
+func (b *Builder) evalConstBinary(op Op, x, y *Term) *Term {
+	w := x.width
+	xv, yv := x.val, y.val
+	switch op {
+	case OpAnd:
+		return b.Const(new(big.Int).And(xv, yv), w)
+	case OpOr:
+		return b.Const(new(big.Int).Or(xv, yv), w)
+	case OpXor:
+		return b.Const(new(big.Int).Xor(xv, yv), w)
+	case OpAdd:
+		return b.Const(new(big.Int).Add(xv, yv), w)
+	case OpSub:
+		return b.Const(new(big.Int).Sub(xv, yv), w)
+	case OpMul:
+		return b.Const(new(big.Int).Mul(xv, yv), w)
+	case OpUDiv:
+		if yv.Sign() == 0 {
+			return b.Const(mask(w), w)
+		}
+		return b.Const(new(big.Int).Div(xv, yv), w)
+	case OpURem:
+		if yv.Sign() == 0 {
+			return b.Const(xv, w)
+		}
+		return b.Const(new(big.Int).Mod(xv, yv), w)
+	case OpSDiv:
+		xs, ys := toSigned(xv, w), toSigned(yv, w)
+		if ys.Sign() == 0 {
+			// SMT-LIB: bvsdiv by zero yields 1 if x negative else all-ones.
+			if xs.Sign() < 0 {
+				return b.Const(big.NewInt(1), w)
+			}
+			return b.Const(mask(w), w)
+		}
+		return b.Const(new(big.Int).Quo(xs, ys), w)
+	case OpSRem:
+		xs, ys := toSigned(xv, w), toSigned(yv, w)
+		if ys.Sign() == 0 {
+			return b.Const(xs, w)
+		}
+		return b.Const(new(big.Int).Rem(xs, ys), w)
+	case OpShl:
+		if yv.Cmp(big.NewInt(int64(w))) >= 0 {
+			return b.Const(big.NewInt(0), w)
+		}
+		return b.Const(new(big.Int).Lsh(xv, uint(yv.Uint64())), w)
+	case OpLShr:
+		if yv.Cmp(big.NewInt(int64(w))) >= 0 {
+			return b.Const(big.NewInt(0), w)
+		}
+		return b.Const(new(big.Int).Rsh(xv, uint(yv.Uint64())), w)
+	case OpAShr:
+		xs := toSigned(xv, w)
+		sh := uint(w)
+		if yv.Cmp(big.NewInt(int64(w))) < 0 {
+			sh = uint(yv.Uint64())
+		}
+		if sh >= uint(w) {
+			if xs.Sign() < 0 {
+				return b.Const(mask(w), w)
+			}
+			return b.Const(big.NewInt(0), w)
+		}
+		return b.Const(new(big.Int).Rsh(xs, sh), w)
+	case OpEq:
+		return b.Bool(xv.Cmp(yv) == 0)
+	case OpULT:
+		return b.Bool(xv.Cmp(yv) < 0)
+	case OpULE:
+		return b.Bool(xv.Cmp(yv) <= 0)
+	case OpSLT:
+		return b.Bool(toSigned(xv, w).Cmp(toSigned(yv, w)) < 0)
+	case OpSLE:
+		return b.Bool(toSigned(xv, w).Cmp(toSigned(yv, w)) <= 0)
+	}
+	panic(fmt.Sprintf("bv: evalConstBinary: unexpected op %v", op))
+}

@@ -1,0 +1,522 @@
+package bv
+
+// Tests for the word-level rewrite engine. Every rule is verified two
+// ways: structurally (the constructor returns the expected normal
+// form) and semantically, against an independent concrete evaluator
+// (the bv analogue of ir.Exec) on random operand values — a rewrite
+// may only ever replace a term with one that evaluates identically for
+// all inputs.
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// evalTerm is the reference evaluator: concrete SMT-LIB QF_BV
+// semantics over a variable assignment, written independently of the
+// rewrite rules it checks.
+func evalTerm(t *Term, env map[string]*big.Int) *big.Int {
+	w := t.width
+	switch t.op {
+	case OpConst:
+		return new(big.Int).Set(t.val)
+	case OpVar:
+		v, ok := env[t.name]
+		if !ok {
+			panic("evalTerm: unbound variable " + t.name)
+		}
+		return new(big.Int).And(new(big.Int).Set(v), mask(w))
+	case OpNot:
+		return new(big.Int).Xor(evalTerm(t.args[0], env), mask(w))
+	case OpNeg:
+		v := new(big.Int).Neg(evalTerm(t.args[0], env))
+		return v.And(v.Add(v, new(big.Int).Lsh(big.NewInt(1), uint(w))), mask(w))
+	case OpITE:
+		if evalTerm(t.args[0], env).Sign() != 0 {
+			return evalTerm(t.args[1], env)
+		}
+		return evalTerm(t.args[2], env)
+	case OpZExt:
+		return evalTerm(t.args[0], env)
+	case OpSExt:
+		x := t.args[0]
+		return new(big.Int).And(toSigned(evalTerm(x, env), x.width), mask(w))
+	case OpExtract:
+		v := new(big.Int).Rsh(evalTerm(t.args[0], env), uint(t.lo))
+		return v.And(v, mask(w))
+	case OpConcat:
+		hi := evalTerm(t.args[0], env)
+		lo := evalTerm(t.args[1], env)
+		return new(big.Int).Or(new(big.Int).Lsh(hi, uint(t.args[1].width)), lo)
+	}
+	x := evalTerm(t.args[0], env)
+	y := evalTerm(t.args[1], env)
+	return refBinary(t.op, t.args[0].width, x, y)
+}
+
+// refBinary applies a binary operation concretely at width w. Operands
+// and result are normalized to [0, 2^w); comparison results are 0/1.
+func refBinary(op Op, w int, x, y *big.Int) *big.Int {
+	m := mask(w)
+	norm := func(v *big.Int) *big.Int { return v.And(v, m) }
+	fromBool := func(b bool) *big.Int {
+		if b {
+			return big.NewInt(1)
+		}
+		return big.NewInt(0)
+	}
+	switch op {
+	case OpAnd:
+		return new(big.Int).And(x, y)
+	case OpOr:
+		return new(big.Int).Or(x, y)
+	case OpXor:
+		return new(big.Int).Xor(x, y)
+	case OpAdd:
+		return norm(new(big.Int).Add(x, y))
+	case OpSub:
+		v := new(big.Int).Sub(x, y)
+		return norm(v.Add(v, new(big.Int).Lsh(big.NewInt(1), uint(w))))
+	case OpMul:
+		return norm(new(big.Int).Mul(x, y))
+	case OpUDiv:
+		if y.Sign() == 0 {
+			return new(big.Int).Set(m)
+		}
+		return new(big.Int).Div(x, y)
+	case OpURem:
+		if y.Sign() == 0 {
+			return new(big.Int).Set(x)
+		}
+		return new(big.Int).Mod(x, y)
+	case OpSDiv:
+		xs, ys := toSigned(x, w), toSigned(y, w)
+		if ys.Sign() == 0 {
+			if xs.Sign() < 0 {
+				return big.NewInt(1)
+			}
+			return new(big.Int).Set(m)
+		}
+		return norm(new(big.Int).Add(new(big.Int).Quo(xs, ys), new(big.Int).Lsh(big.NewInt(1), uint(w))))
+	case OpSRem:
+		xs, ys := toSigned(x, w), toSigned(y, w)
+		if ys.Sign() == 0 {
+			return norm(new(big.Int).Add(xs, new(big.Int).Lsh(big.NewInt(1), uint(w))))
+		}
+		return norm(new(big.Int).Add(new(big.Int).Rem(xs, ys), new(big.Int).Lsh(big.NewInt(1), uint(w))))
+	case OpShl:
+		if y.Cmp(big.NewInt(int64(w))) >= 0 {
+			return big.NewInt(0)
+		}
+		return norm(new(big.Int).Lsh(x, uint(y.Uint64())))
+	case OpLShr:
+		if y.Cmp(big.NewInt(int64(w))) >= 0 {
+			return big.NewInt(0)
+		}
+		return new(big.Int).Rsh(x, uint(y.Uint64()))
+	case OpAShr:
+		xs := toSigned(x, w)
+		sh := uint(w)
+		if y.Cmp(big.NewInt(int64(w))) < 0 {
+			sh = uint(y.Uint64())
+		}
+		if sh >= uint(w) {
+			if xs.Sign() < 0 {
+				return new(big.Int).Set(m)
+			}
+			return big.NewInt(0)
+		}
+		return norm(new(big.Int).Add(new(big.Int).Rsh(xs, sh), new(big.Int).Lsh(big.NewInt(1), uint(w))))
+	case OpEq:
+		return fromBool(x.Cmp(y) == 0)
+	case OpULT:
+		return fromBool(x.Cmp(y) < 0)
+	case OpULE:
+		return fromBool(x.Cmp(y) <= 0)
+	case OpSLT:
+		return fromBool(toSigned(x, w).Cmp(toSigned(y, w)) < 0)
+	case OpSLE:
+		return fromBool(toSigned(x, w).Cmp(toSigned(y, w)) <= 0)
+	}
+	panic("refBinary: unexpected op " + op.String())
+}
+
+const ruleWidth = 8
+
+// ruleTest exercises one rewrite rule: build constructs the expression
+// through the Builder (triggering the rule), ref gives the intended
+// concrete semantics of the *unrewritten* expression, and shape
+// asserts the normal form.
+type ruleTest struct {
+	name  string
+	build func(b *Builder, x, y *Term) *Term
+	ref   func(x, y *big.Int) *big.Int
+	shape func(b *Builder, x, y, got *Term) bool
+}
+
+func isConstVal(t *Term, v int64) bool {
+	return t.op == OpConst && t.val.Cmp(new(big.Int).And(big.NewInt(v), mask(t.width))) == 0
+}
+
+var ruleTests = []ruleTest{
+	// Identity / annihilator rules.
+	{"and-zero", func(b *Builder, x, y *Term) *Term { return b.And(x, b.ConstInt64(0, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 0) }},
+	{"and-allones", func(b *Builder, x, y *Term) *Term { return b.And(x, b.ConstInt64(-1, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"and-self", func(b *Builder, x, y *Term) *Term { return b.And(x, x) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"and-complement", func(b *Builder, x, y *Term) *Term { return b.And(x, b.Not(x)) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 0) }},
+	{"or-zero", func(b *Builder, x, y *Term) *Term { return b.Or(x, b.ConstInt64(0, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"or-allones", func(b *Builder, x, y *Term) *Term { return b.Or(x, b.ConstInt64(-1, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return mask(ruleWidth) },
+		func(b *Builder, x, y, got *Term) bool { return isAllOnes(got) }},
+	{"or-self", func(b *Builder, x, y *Term) *Term { return b.Or(x, x) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"or-complement", func(b *Builder, x, y *Term) *Term { return b.Or(x, b.Not(x)) },
+		func(x, y *big.Int) *big.Int { return mask(ruleWidth) },
+		func(b *Builder, x, y, got *Term) bool { return isAllOnes(got) }},
+	{"xor-self", func(b *Builder, x, y *Term) *Term { return b.Xor(x, x) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 0) }},
+	{"xor-zero", func(b *Builder, x, y *Term) *Term { return b.Xor(x, b.ConstInt64(0, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"xor-allones", func(b *Builder, x, y *Term) *Term { return b.Xor(x, b.ConstInt64(-1, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return new(big.Int).Xor(x, mask(ruleWidth)) },
+		func(b *Builder, x, y, got *Term) bool { return got.op == OpNot && got.args[0] == x }},
+	{"xor-complement", func(b *Builder, x, y *Term) *Term { return b.Xor(x, b.Not(x)) },
+		func(x, y *big.Int) *big.Int { return mask(ruleWidth) },
+		func(b *Builder, x, y, got *Term) bool { return isAllOnes(got) }},
+
+	// Double negation.
+	{"not-not", func(b *Builder, x, y *Term) *Term { return b.Not(b.Not(x)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"neg-neg", func(b *Builder, x, y *Term) *Term { return b.Neg(b.Neg(x)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"neg-sub", func(b *Builder, x, y *Term) *Term { return b.Neg(b.Sub(x, y)) },
+		func(x, y *big.Int) *big.Int { return refBinary(OpSub, ruleWidth, y, x) },
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpSub && got.args[0] == y && got.args[1] == x
+		}},
+
+	// Add/sub chain folding.
+	{"add-zero", func(b *Builder, x, y *Term) *Term { return b.Add(x, b.ConstInt64(0, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"add-chain", func(b *Builder, x, y *Term) *Term {
+		return b.Add(b.Add(x, b.ConstInt64(5, ruleWidth)), b.ConstInt64(7, ruleWidth))
+	},
+		func(x, y *big.Int) *big.Int { return refBinary(OpAdd, ruleWidth, x, big.NewInt(12)) },
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpAdd && got.args[0] == x && isConstVal(got.args[1], 12)
+		}},
+	{"sub-as-add", func(b *Builder, x, y *Term) *Term { return b.Sub(x, b.ConstInt64(5, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return refBinary(OpSub, ruleWidth, x, big.NewInt(5)) },
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpAdd && got.args[0] == x && isConstVal(got.args[1], -5)
+		}},
+	{"sub-add-chain", func(b *Builder, x, y *Term) *Term {
+		return b.Add(b.Sub(x, b.ConstInt64(3, ruleWidth)), b.ConstInt64(10, ruleWidth))
+	},
+		func(x, y *big.Int) *big.Int { return refBinary(OpAdd, ruleWidth, x, big.NewInt(7)) },
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpAdd && got.args[0] == x && isConstVal(got.args[1], 7)
+		}},
+	{"sub-zero", func(b *Builder, x, y *Term) *Term { return b.Sub(x, b.ConstInt64(0, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"sub-self", func(b *Builder, x, y *Term) *Term { return b.Sub(x, x) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 0) }},
+	{"zero-sub", func(b *Builder, x, y *Term) *Term { return b.Sub(b.ConstInt64(0, ruleWidth), x) },
+		func(x, y *big.Int) *big.Int { return refBinary(OpSub, ruleWidth, big.NewInt(0), x) },
+		func(b *Builder, x, y, got *Term) bool { return got.op == OpNeg && got.args[0] == x }},
+
+	// Multiplicative / shift identities.
+	{"mul-zero", func(b *Builder, x, y *Term) *Term { return b.Mul(x, b.ConstInt64(0, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 0) }},
+	{"mul-one", func(b *Builder, x, y *Term) *Term { return b.Mul(x, b.ConstInt64(1, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"udiv-one", func(b *Builder, x, y *Term) *Term { return b.UDiv(x, b.ConstInt64(1, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"urem-one", func(b *Builder, x, y *Term) *Term { return b.URem(x, b.ConstInt64(1, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 0) }},
+	{"shl-zero", func(b *Builder, x, y *Term) *Term { return b.Shl(x, b.ConstInt64(0, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"shl-oversized", func(b *Builder, x, y *Term) *Term { return b.Shl(x, b.ConstInt64(ruleWidth, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 0) }},
+	{"lshr-oversized", func(b *Builder, x, y *Term) *Term { return b.LShr(x, b.ConstInt64(200, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 0) }},
+	{"ashr-zero", func(b *Builder, x, y *Term) *Term { return b.AShr(x, b.ConstInt64(0, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+
+	// Comparisons decided without the solver.
+	{"eq-self", func(b *Builder, x, y *Term) *Term { return b.Eq(x, x) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(1) },
+		func(b *Builder, x, y, got *Term) bool { return got.IsConstBool(true) }},
+	{"ule-zero-left", func(b *Builder, x, y *Term) *Term { return b.ULE(b.ConstInt64(0, ruleWidth), x) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(1) },
+		func(b *Builder, x, y, got *Term) bool { return got.IsConstBool(true) }},
+	{"ule-allones-right", func(b *Builder, x, y *Term) *Term { return b.ULE(x, b.ConstInt64(-1, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(1) },
+		func(b *Builder, x, y, got *Term) bool { return got.IsConstBool(true) }},
+	{"ule-zero-right", func(b *Builder, x, y *Term) *Term { return b.ULE(x, b.ConstInt64(0, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return refBinary(OpEq, ruleWidth, x, big.NewInt(0)) },
+		func(b *Builder, x, y, got *Term) bool { return got.op == OpEq }},
+	{"ult-zero", func(b *Builder, x, y *Term) *Term { return b.ULT(x, b.ConstInt64(0, ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return got.IsConstBool(false) }},
+	{"ult-allones-left", func(b *Builder, x, y *Term) *Term { return b.ULT(b.ConstInt64(-1, ruleWidth), x) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return got.IsConstBool(false) }},
+	{"sle-intmax", func(b *Builder, x, y *Term) *Term { return b.SLE(x, b.Const(smax(ruleWidth), ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(1) },
+		func(b *Builder, x, y, got *Term) bool { return got.IsConstBool(true) }},
+	{"sle-intmin-left", func(b *Builder, x, y *Term) *Term { return b.SLE(b.Const(smin(ruleWidth), ruleWidth), x) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(1) },
+		func(b *Builder, x, y, got *Term) bool { return got.IsConstBool(true) }},
+	{"slt-intmin", func(b *Builder, x, y *Term) *Term { return b.SLT(x, b.Const(smin(ruleWidth), ruleWidth)) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return got.IsConstBool(false) }},
+	{"slt-intmax-left", func(b *Builder, x, y *Term) *Term { return b.SLT(b.Const(smax(ruleWidth), ruleWidth), x) },
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return got.IsConstBool(false) }},
+
+	// Boolean-width equality and ITE normal forms.
+	{"eq-bool-true", func(b *Builder, x, y *Term) *Term {
+		c := b.Eq(x, y)
+		return b.Eq(c, b.Bool(true))
+	},
+		func(x, y *big.Int) *big.Int { return refBinary(OpEq, ruleWidth, x, y) },
+		func(b *Builder, x, y, got *Term) bool { return got == b.Eq(x, y) }},
+	{"eq-bool-false", func(b *Builder, x, y *Term) *Term {
+		c := b.Eq(x, y)
+		return b.Eq(c, b.Bool(false))
+	},
+		func(x, y *big.Int) *big.Int {
+			return new(big.Int).Xor(refBinary(OpEq, ruleWidth, x, y), big.NewInt(1))
+		},
+		func(b *Builder, x, y, got *Term) bool { return got.op == OpNot }},
+	{"ite-const-cond", func(b *Builder, x, y *Term) *Term { return b.ITE(b.Bool(true), x, y) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"ite-same-arms", func(b *Builder, x, y *Term) *Term { return b.ITE(b.Eq(x, y), x, x) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"ite-bool-select", func(b *Builder, x, y *Term) *Term {
+		return b.ITE(b.ULT(x, y), b.Bool(true), b.Bool(false))
+	},
+		func(x, y *big.Int) *big.Int { return refBinary(OpULT, ruleWidth, x, y) },
+		func(b *Builder, x, y, got *Term) bool { return got == b.ULT(x, y) }},
+	{"ite-bool-invert", func(b *Builder, x, y *Term) *Term {
+		return b.ITE(b.ULT(x, y), b.Bool(false), b.Bool(true))
+	},
+		func(x, y *big.Int) *big.Int {
+			return new(big.Int).Xor(refBinary(OpULT, ruleWidth, x, y), big.NewInt(1))
+		},
+		func(b *Builder, x, y, got *Term) bool { return got.op == OpNot || got.op == OpULE }},
+	{"ite-not-cond", func(b *Builder, x, y *Term) *Term { return b.ITE(b.Not(b.Eq(x, y)), x, y) },
+		func(x, y *big.Int) *big.Int {
+			if x.Cmp(y) != 0 {
+				return x
+			}
+			return y
+		},
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpITE && got.args[0].op != OpNot
+		}},
+
+	// Extraction composition.
+	{"extract-extract", func(b *Builder, x, y *Term) *Term {
+		return b.Extract(b.Extract(b.Concat(x, y), 11, 2), 5, 2)
+	},
+		func(x, y *big.Int) *big.Int {
+			cat := new(big.Int).Or(new(big.Int).Lsh(x, ruleWidth), y)
+			return new(big.Int).And(new(big.Int).Rsh(cat, 4), mask(4))
+		},
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpExtract && got.args[0].op == OpConcat && got.lo == 4
+		}},
+}
+
+func TestRewriteRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(20130324))
+	for _, rt := range ruleTests {
+		t.Run(rt.name, func(t *testing.T) {
+			b := NewBuilder()
+			x := b.Var("x", ruleWidth)
+			y := b.Var("y", ruleWidth)
+			before := b.RewriteHits
+			got := rt.build(b, x, y)
+			if b.RewriteHits == before {
+				t.Errorf("rule did not register a rewrite hit")
+			}
+			if !rt.shape(b, x, y, got) {
+				t.Errorf("unexpected normal form: %s", got)
+			}
+			// Concrete semantics on random inputs: the rewritten term
+			// must agree with the reference meaning of the expression.
+			for i := 0; i < 200; i++ {
+				xv := big.NewInt(int64(rng.Intn(1 << ruleWidth)))
+				yv := big.NewInt(int64(rng.Intn(1 << ruleWidth)))
+				env := map[string]*big.Int{"x": xv, "y": yv}
+				want := new(big.Int).And(rt.ref(xv, yv), mask(got.width))
+				if have := evalTerm(got, env); have.Cmp(want) != 0 {
+					t.Fatalf("x=%v y=%v: rewritten term = %v, reference = %v (term %s)",
+						xv, yv, have, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRewriteSoundnessRandom cross-checks the whole rewrite engine: it
+// builds random binary expressions over operand shapes chosen to
+// trigger the rules (variables, constants, negations, constant
+// add-chains) and verifies the constructed term evaluates exactly like
+// the unrewritten operation for every sampled assignment.
+func TestRewriteSoundnessRandom(t *testing.T) {
+	ops := []Op{OpAnd, OpOr, OpXor, OpAdd, OpSub, OpMul, OpUDiv, OpURem,
+		OpSDiv, OpSRem, OpShl, OpLShr, OpAShr, OpEq, OpULT, OpULE, OpSLT, OpSLE}
+	rng := rand.New(rand.NewSource(1))
+	const w = 8
+	b := NewBuilder()
+	x := b.Var("x", w)
+	y := b.Var("y", w)
+	operand := func() *Term {
+		switch rng.Intn(6) {
+		case 0:
+			return x
+		case 1:
+			return y
+		case 2:
+			return b.ConstInt64(int64(rng.Intn(1<<w)), w)
+		case 3:
+			return b.Not(x)
+		case 4:
+			return b.Add(x, b.ConstInt64(int64(rng.Intn(1<<w)), w))
+		default:
+			return b.Sub(y, b.ConstInt64(int64(rng.Intn(1<<w)), w))
+		}
+	}
+	apply := func(op Op, u, v *Term) *Term {
+		switch op {
+		case OpAnd:
+			return b.And(u, v)
+		case OpOr:
+			return b.Or(u, v)
+		case OpXor:
+			return b.Xor(u, v)
+		case OpAdd:
+			return b.Add(u, v)
+		case OpSub:
+			return b.Sub(u, v)
+		case OpMul:
+			return b.Mul(u, v)
+		case OpUDiv:
+			return b.UDiv(u, v)
+		case OpURem:
+			return b.URem(u, v)
+		case OpSDiv:
+			return b.SDiv(u, v)
+		case OpSRem:
+			return b.SRem(u, v)
+		case OpShl:
+			return b.Shl(u, v)
+		case OpLShr:
+			return b.LShr(u, v)
+		case OpAShr:
+			return b.AShr(u, v)
+		case OpEq:
+			return b.Eq(u, v)
+		case OpULT:
+			return b.ULT(u, v)
+		case OpULE:
+			return b.ULE(u, v)
+		case OpSLT:
+			return b.SLT(u, v)
+		case OpSLE:
+			return b.SLE(u, v)
+		}
+		panic("unreachable")
+	}
+	for iter := 0; iter < 500; iter++ {
+		for _, op := range ops {
+			u, v := operand(), operand()
+			got := apply(op, u, v)
+			env := map[string]*big.Int{
+				"x": big.NewInt(int64(rng.Intn(1 << w))),
+				"y": big.NewInt(int64(rng.Intn(1 << w))),
+			}
+			want := refBinary(op, w, evalTerm(u, env), evalTerm(v, env))
+			if have := evalTerm(got, env); have.Cmp(want) != 0 {
+				t.Fatalf("%v(%s, %s) rewrote unsoundly: env=%v got=%v want=%v (term %s)",
+					op, u, v, env, have, want, got)
+			}
+		}
+	}
+	if b.RewriteHits == 0 {
+		t.Error("random construction triggered no rewrites")
+	}
+}
+
+// TestSolverConstFastPath: queries whose assumptions fold to constants
+// are answered without touching the SAT core.
+func TestSolverConstFastPath(t *testing.T) {
+	b := NewBuilder()
+	s := NewSolver(b)
+	x := b.Var("x", 8)
+	vars0, clauses0 := s.Stats()
+
+	// x <u 0 folds to false: Unsat with no SAT work.
+	if got := s.Solve(b.ULT(x, b.ConstInt64(0, 8))); got != Unsat {
+		t.Fatalf("const-false assumption: %v, want unsat", got)
+	}
+	// 0 <=u x folds to true and nothing is asserted: Sat with no SAT work.
+	if got := s.Solve(b.ULE(b.ConstInt64(0, 8), x)); got != Sat {
+		t.Fatalf("const-true assumption: %v, want sat", got)
+	}
+	if s.FastPaths != 2 {
+		t.Errorf("FastPaths = %d, want 2", s.FastPaths)
+	}
+	if vars, clauses := s.Stats(); vars != vars0 || clauses != clauses0 {
+		t.Errorf("SAT instance grew (%d→%d vars, %d→%d clauses) on constant queries",
+			vars0, vars, clauses0, clauses)
+	}
+
+	// SolveCore must identify the constant-false assumption as the core.
+	tru := b.Eq(x, x)
+	fls := b.ULT(x, b.ConstInt64(0, 8))
+	res, core := s.SolveCore(tru, fls)
+	if res != Unsat || len(core) != 1 || core[0] != 1 {
+		t.Errorf("SolveCore = %v %v, want unsat with core [1]", res, core)
+	}
+
+	// A real (non-constant) query must still reach the SAT core.
+	if got := s.Solve(b.Eq(x, b.ConstInt64(3, 8))); got != Sat {
+		t.Fatalf("x = 3: %v, want sat", got)
+	}
+	if v := s.Value(x).Int64(); v != 3 {
+		t.Errorf("model x = %d, want 3", v)
+	}
+}

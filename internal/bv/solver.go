@@ -45,10 +45,15 @@ type Solver struct {
 	// (useful in tests and benchmarks); zero means unbounded.
 	MaxConflicts int64
 	// Queries counts Solve calls; Timeouts counts Unknown verdicts.
-	Queries  int64
-	Timeouts int64
+	// FastPaths counts queries answered from constant assumptions
+	// (produced by the rewrite engine) without running CDCL search.
+	Queries   int64
+	Timeouts  int64
+	FastPaths int64
 
-	assumed map[*Term]sat.Lit // activation literal per assumed term
+	asserted   bool              // a permanent constraint has been added
+	modelValid bool              // last verdict was Sat from a real SAT run
+	assumed    map[*Term]sat.Lit // activation literal per assumed term
 }
 
 // NewSolver returns a solver for terms created by bld.
@@ -75,16 +80,56 @@ func (s *Solver) litFor(t *Term) sat.Lit {
 
 // Assert permanently constrains t (width 1) to be true.
 func (s *Solver) Assert(t *Term) {
+	if t.IsConstBool(true) {
+		return // vacuous
+	}
+	s.asserted = true
 	s.sat.AddClause(s.litFor(t))
+}
+
+// constShortcut inspects the assumptions for a verdict that needs no
+// SAT search: any constant-false assumption makes the query Unsat (the
+// index of the first one is returned as its core), and if every
+// assumption is constant true and nothing has been asserted the query
+// is trivially Sat. The third return is false when the SAT core must
+// run after all.
+func (s *Solver) constShortcut(assumptions []*Term) (Result, []int, bool) {
+	allTrue := true
+	for i, t := range assumptions {
+		if t.IsConstBool(false) {
+			s.FastPaths++
+			return Unsat, []int{i}, true
+		}
+		if !t.IsConstBool(true) {
+			allTrue = false
+		}
+	}
+	if allTrue && !s.asserted {
+		s.FastPaths++
+		return Sat, nil, true
+	}
+	return Unknown, nil, false
 }
 
 // Solve decides whether the permanent assertions plus all assumption
 // terms are jointly satisfiable. Assumptions are not retained across
 // calls.
+//
+// Queries whose assumptions the rewrite engine reduced to constants are
+// answered directly, without bit-blasting or CDCL search. Such a Sat
+// verdict carries no model: the model accessors (Value, ValueBool)
+// panic unless the last verdict was a Sat produced by the SAT core.
 func (s *Solver) Solve(assumptions ...*Term) Result {
 	s.Queries++
+	s.modelValid = false
+	if res, _, ok := s.constShortcut(assumptions); ok {
+		return res
+	}
 	lits := make([]sat.Lit, 0, len(assumptions))
 	for _, t := range assumptions {
+		if t.IsConstBool(true) {
+			continue // vacuous under any model
+		}
 		lits = append(lits, s.litFor(t))
 	}
 	if s.Timeout > 0 {
@@ -95,6 +140,7 @@ func (s *Solver) Solve(assumptions ...*Term) Result {
 	s.sat.MaxConflicts = s.MaxConflicts
 	switch s.sat.Solve(lits...) {
 	case sat.Sat:
+		s.modelValid = true
 		return Sat
 	case sat.Unsat:
 		return Unsat
@@ -105,8 +151,13 @@ func (s *Solver) Solve(assumptions ...*Term) Result {
 }
 
 // Value returns the value of term t under the model of the last Sat
-// verdict. Calling it in any other state is a caller bug.
+// verdict. Calling it in any other state — including after a Sat
+// decided by the constant fast path, which has no model — is a caller
+// bug and panics rather than returning stale bits.
 func (s *Solver) Value(t *Term) *big.Int {
+	if !s.modelValid {
+		panic("bv: Value called without a model (last verdict was not a SAT-core Sat)")
+	}
 	lits := s.bl.blast(s.bld, t)
 	v := new(big.Int)
 	for i, l := range lits {
@@ -131,6 +182,10 @@ func (s *Solver) ValueBool(t *Term) bool {
 // is the primitive STACK's minimal-UB-set masking loop builds on.
 func (s *Solver) SolveCore(assumptions ...*Term) (Result, []int) {
 	s.Queries++
+	s.modelValid = false
+	if res, core, ok := s.constShortcut(assumptions); ok {
+		return res, core
+	}
 	lits := make([]sat.Lit, len(assumptions))
 	for i, t := range assumptions {
 		lits[i] = s.litFor(t)
@@ -143,6 +198,7 @@ func (s *Solver) SolveCore(assumptions ...*Term) (Result, []int) {
 	s.sat.MaxConflicts = s.MaxConflicts
 	switch s.sat.Solve(lits...) {
 	case sat.Sat:
+		s.modelValid = true
 		return Sat, nil
 	case sat.Unsat:
 		failed := s.sat.FailedAssumptions()

@@ -85,16 +85,26 @@ var DefaultOptions = Options{
 
 // Stats aggregates checker effort, the quantities of the paper's
 // Figure 16 (queries, timeouts) plus report counts per algorithm
-// (Figure 17).
+// (Figure 17), and the solver-layer counters of the word-level rewrite
+// engine.
 type Stats struct {
 	Functions     int
 	Blocks        int
 	Queries       int64
 	Timeouts      int64
 	ReportsByAlgo [3]int
+	// RewriteHits counts term constructions answered by bv's word-level
+	// rewrite rules; TermsCreated counts interned term nodes; FastPaths
+	// counts solver queries decided from constants without CDCL search.
+	RewriteHits  int64
+	TermsCreated int64
+	FastPaths    int64
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. It is the reduction step for
+// lock-free parallel checking: give each worker goroutine its own
+// Checker, then merge the per-worker Stats with Add once the workers
+// have finished.
 func (s *Stats) Add(other Stats) {
 	s.Functions += other.Functions
 	s.Blocks += other.Blocks
@@ -103,10 +113,16 @@ func (s *Stats) Add(other Stats) {
 	for i := range s.ReportsByAlgo {
 		s.ReportsByAlgo[i] += other.ReportsByAlgo[i]
 	}
+	s.RewriteHits += other.RewriteHits
+	s.TermsCreated += other.TermsCreated
+	s.FastPaths += other.FastPaths
 }
 
 // Checker is the STACK checker. Create with New; safe for sequential
-// reuse across programs.
+// reuse across programs. A Checker is NOT safe for concurrent use: its
+// stats accumulate without locks by design. Concurrent callers (see
+// corpus.Sweeper) create one Checker per goroutine and merge the
+// results with Stats.Add.
 type Checker struct {
 	opts  Options
 	stats Stats
@@ -180,6 +196,9 @@ func (c *Checker) CheckFunc(f *ir.Func) []*Report {
 
 	c.stats.Queries += solver.Queries
 	c.stats.Timeouts += solver.Timeouts
+	c.stats.FastPaths += solver.FastPaths
+	c.stats.RewriteHits += int64(bld.RewriteHits)
+	c.stats.TermsCreated += int64(bld.TermsCreated)
 	for _, r := range reports {
 		c.stats.ReportsByAlgo[r.Algo]++
 	}
@@ -253,12 +272,16 @@ func (st *funcState) eliminate() []*Report {
 			continue
 		}
 		// Phase 1 (without ∆): trivially unreachable code is removed
-		// silently, exactly as a C* compiler could.
-		if res := st.solver.Solve(r); res == bv.Unsat {
-			st.eliminated[b] = true
-			continue
-		} else if res == bv.Unknown {
-			continue
+		// silently, exactly as a C* compiler could. Constant-true
+		// reachability (common after word-level rewriting) needs no
+		// query at all.
+		if !r.IsConstBool(true) {
+			if res := st.solver.Solve(r); res == bv.Unsat {
+				st.eliminated[b] = true
+				continue
+			} else if res == bv.Unknown {
+				continue
+			}
 		}
 		// Phase 2 (with the well-defined program assumption).
 		negs, kept := st.wellDefinedTerms(b, false)
@@ -421,9 +444,15 @@ func (st *funcState) simplifyBool(blk *ir.Block, cond *ir.Value) *Report {
 	for _, proposal := range []bool{true, false} {
 		ne := b.Xor(e, b.Bool(proposal)) // e(x) ≠ e'(x)
 		// Phase 1: trivially equivalent without ∆ — a plain compiler
-		// could fold it; not unstable.
-		if res := st.solver.Solve(ne, r); res != bv.Sat {
+		// could fold it; not unstable. Both constant verdicts are
+		// decided here without a solver query.
+		if ne.IsConstBool(false) {
 			return nil
+		}
+		if !(ne.IsConstBool(true) && r.IsConstBool(true)) {
+			if res := st.solver.Solve(ne, r); res != bv.Sat {
+				return nil
+			}
 		}
 		if len(negs) == 0 {
 			continue
@@ -479,9 +508,11 @@ func (st *funcState) simplifyAlgebra(blk *ir.Block, cond *ir.Value) *Report {
 		return nil // syntactically identical already
 	}
 	r := st.enc.reachability(blk)
-	// Phase 1.
-	if res := st.solver.Solve(ne, r); res != bv.Sat {
-		return nil
+	// Phase 1, with the same constant short-circuit as simplifyBool.
+	if !(ne.IsConstBool(true) && r.IsConstBool(true)) {
+		if res := st.solver.Solve(ne, r); res != bv.Sat {
+			return nil
+		}
 	}
 	negs, kept := st.wellDefinedTerms(blk, true)
 	if len(negs) == 0 {

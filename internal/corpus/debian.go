@@ -4,11 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
-	"time"
 
-	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/ir"
 )
 
 // The paper checked the 8,575 Debian Wheezy packages containing C/C++
@@ -132,112 +129,4 @@ func pickKind(rng *rand.Rand, kinds []core.UBKind, cum []int, total int) core.UB
 		}
 	}
 	return kinds[len(kinds)-1]
-}
-
-// SweepResult aggregates a whole-archive run: the quantities of the
-// paper's Figures 16, 17, and 18 plus the §6.5 minimal-set histogram.
-type SweepResult struct {
-	Packages            int
-	PackagesWithReports int
-	Files               int
-	Functions           int
-	Reports             int
-	ReportsByAlgo       map[core.Algo]int
-	ReportsByKind       map[core.UBKind]int
-	MinSetHistogram     map[int]int
-	Queries             int64
-	Timeouts            int64
-	BuildTime           time.Duration // frontend + IR construction
-	AnalysisTime        time.Duration // solver-based checking
-}
-
-// Sweep runs the checker over every package.
-func Sweep(pkgs []Package, opts core.Options) (*SweepResult, error) {
-	res := &SweepResult{
-		Packages:        len(pkgs),
-		ReportsByAlgo:   map[core.Algo]int{},
-		ReportsByKind:   map[core.UBKind]int{},
-		MinSetHistogram: map[int]int{},
-	}
-	checker := core.New(opts)
-	for _, p := range pkgs {
-		had := false
-		for fi, src := range p.Files {
-			t0 := time.Now()
-			file, err := cc.Parse(fmt.Sprintf("%s_%d.c", p.Name, fi), src)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", p.Name, err)
-			}
-			if err := cc.Check(file); err != nil {
-				return nil, fmt.Errorf("%s: %w", p.Name, err)
-			}
-			prog, err := ir.Build(file)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", p.Name, err)
-			}
-			res.BuildTime += time.Since(t0)
-			res.Files++
-			res.Functions += len(prog.Funcs)
-
-			t1 := time.Now()
-			reports := checker.CheckProgram(prog)
-			res.AnalysisTime += time.Since(t1)
-
-			if len(reports) > 0 {
-				had = true
-			}
-			res.Reports += len(reports)
-			for a, n := range core.CountByAlgo(reports) {
-				res.ReportsByAlgo[a] += n
-			}
-			for k, n := range core.CountByUBKind(reports) {
-				res.ReportsByKind[k] += n
-			}
-			for s, n := range core.MinSetSizeHistogram(reports) {
-				res.MinSetHistogram[s] += n
-			}
-		}
-		if had {
-			res.PackagesWithReports++
-		}
-	}
-	st := checker.Stats()
-	res.Queries = st.Queries
-	res.Timeouts = st.Timeouts
-	return res, nil
-}
-
-// Format renders the sweep in the style of the paper's §6.5 figures.
-func (r *SweepResult) Format() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "packages checked:        %d\n", r.Packages)
-	fmt.Fprintf(&b, "packages with reports:   %d (%.1f%%)\n",
-		r.PackagesWithReports, 100*float64(r.PackagesWithReports)/float64(max(1, r.Packages)))
-	fmt.Fprintf(&b, "files / functions:       %d / %d\n", r.Files, r.Functions)
-	fmt.Fprintf(&b, "build time / analysis:   %v / %v\n", r.BuildTime.Round(time.Millisecond), r.AnalysisTime.Round(time.Millisecond))
-	fmt.Fprintf(&b, "solver queries:          %d (%d timeouts)\n", r.Queries, r.Timeouts)
-	b.WriteString("\nreports by algorithm (Fig. 17):\n")
-	for a := core.AlgoElimination; a <= core.AlgoSimplifyAlgebra; a++ {
-		fmt.Fprintf(&b, "  %-34s %d\n", a.String(), r.ReportsByAlgo[a])
-	}
-	b.WriteString("\nreports by UB condition (Fig. 18):\n")
-	for _, k := range kindOrder {
-		if n := r.ReportsByKind[k]; n > 0 {
-			fmt.Fprintf(&b, "  %-26s %d\n", k.String(), n)
-		}
-	}
-	b.WriteString("\nminimal UB-set sizes (§6.5):\n")
-	for s := 1; s <= 8; s++ {
-		if n := r.MinSetHistogram[s]; n > 0 {
-			fmt.Fprintf(&b, "  %d condition(s): %d report(s)\n", s, n)
-		}
-	}
-	return b.String()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,134 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sweepOpts() core.Options {
+	// Timeout 0 (no wall-clock deadline): the determinism tests compare
+	// runs byte for byte, and a deadline could flip a near-limit query
+	// to Unknown under load. These archives' queries all finish in
+	// milliseconds, so no bound is needed.
+	return core.Options{
+		FilterOrigins: true, MinUBSets: true, Inline: true,
+	}
+}
+
+// reportLogLines renders the sorted report log in a canonical textual
+// form for byte-level comparison.
+func reportLogLines(res *SweepResult) string {
+	var b strings.Builder
+	for _, fr := range res.ReportLog {
+		fmt.Fprintf(&b, "%s: %s\n", fr.File, fr.Report)
+	}
+	return b.String()
+}
+
+// TestSweepDeterministicAcrossWorkers is the pipeline's core contract:
+// Workers=1 and Workers=8 produce identical aggregate counts and
+// byte-identical sorted report logs. Run under -race this also checks
+// that the worker pipeline is free of data races.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	cfg := ArchiveConfig{
+		Packages: 24, FilesPerPackage: 2, FuncsPerFile: 5,
+		UnstableFraction: 0.5, Seed: 99,
+	}
+	pkgs := GenerateArchive(cfg)
+
+	serial, err := (&Sweeper{Options: sweepOpts(), Workers: 1}).Run(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Sweeper{Options: sweepOpts(), Workers: 8}).Run(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.Reports == 0 {
+		t.Fatal("archive produced no reports; test is vacuous")
+	}
+	type counts struct {
+		Packages, PackagesWithReports, Files, Functions, Reports int
+		Queries, Timeouts, RewriteHits, TermsCreated             int64
+	}
+	c := func(r *SweepResult) counts {
+		return counts{r.Packages, r.PackagesWithReports, r.Files, r.Functions,
+			r.Reports, r.Queries, r.Timeouts, r.RewriteHits, r.TermsCreated}
+	}
+	if c(serial) != c(parallel) {
+		t.Errorf("counts differ:\n workers=1: %+v\n workers=8: %+v", c(serial), c(parallel))
+	}
+	for _, m := range []struct {
+		name string
+		a, b int
+	}{
+		{"elimination", serial.ReportsByAlgo[core.AlgoElimination], parallel.ReportsByAlgo[core.AlgoElimination]},
+		{"boolean-oracle", serial.ReportsByAlgo[core.AlgoSimplifyBool], parallel.ReportsByAlgo[core.AlgoSimplifyBool]},
+		{"algebra-oracle", serial.ReportsByAlgo[core.AlgoSimplifyAlgebra], parallel.ReportsByAlgo[core.AlgoSimplifyAlgebra]},
+		{"single-cond-minsets", serial.MinSetHistogram[1], parallel.MinSetHistogram[1]},
+	} {
+		if m.a != m.b {
+			t.Errorf("%s: workers=1 got %d, workers=8 got %d", m.name, m.a, m.b)
+		}
+	}
+	sLog, pLog := reportLogLines(serial), reportLogLines(parallel)
+	if sLog != pLog {
+		t.Errorf("report logs differ between worker counts:\n--- workers=1\n%s--- workers=8\n%s", sLog, pLog)
+	}
+}
+
+// TestSweepEmptyArchive: the degenerate sweep must succeed and Format
+// must not divide by zero.
+func TestSweepEmptyArchive(t *testing.T) {
+	res, err := Sweep(nil, sweepOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packages != 0 || res.Files != 0 || res.Reports != 0 {
+		t.Fatalf("empty archive produced work: %+v", res)
+	}
+	if !strings.Contains(res.Format(), "packages checked:        0") {
+		t.Errorf("Format output unexpected:\n%s", res.Format())
+	}
+}
+
+// TestSweepErrorPropagation: a file the frontend rejects must surface
+// as an error (not a hang or partial result), from any pipeline stage.
+func TestSweepErrorPropagation(t *testing.T) {
+	pkgs := []Package{
+		{Name: "good", Files: []string{"int f(int x) { return x + 1; }\n"}},
+		{Name: "bad", Files: []string{"int broken( {\n"}},
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := (&Sweeper{Options: sweepOpts(), Workers: workers}).Run(pkgs)
+		if err == nil {
+			t.Errorf("workers=%d: sweep of invalid source succeeded", workers)
+		} else if !strings.Contains(err.Error(), "bad_0.c") {
+			t.Errorf("workers=%d: error does not name the file: %v", workers, err)
+		}
+	}
+}
+
+// TestSweepRewriteLayerEngaged: the word-level rewrite layer must fire
+// during a sweep and its solver fast paths must be visible in the
+// result, so regressions that silently disable it are caught here.
+func TestSweepRewriteLayerEngaged(t *testing.T) {
+	cfg := ArchiveConfig{
+		Packages: 8, FilesPerPackage: 2, FuncsPerFile: 4,
+		UnstableFraction: 1, Seed: 5,
+	}
+	res, err := Sweep(GenerateArchive(cfg), sweepOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RewriteHits == 0 {
+		t.Error("sweep recorded zero rewrite hits")
+	}
+	if res.TermsCreated == 0 {
+		t.Error("sweep recorded zero terms created")
+	}
+}
