@@ -1,8 +1,9 @@
 # Development targets; `make ci` mirrors .github/workflows/ci.yml.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench-smoke bench ci
+.PHONY: all build vet test race bench-smoke bench fuzz-smoke cover race-cover ci
 
 all: build
 
@@ -19,12 +20,33 @@ race:
 	$(GO) test -race ./...
 
 # Short smoke run of the Figure 16 Kerberos profile plus the parallel
-# sweep benchmark (speedup-vs-serial / rewrite-hit-rate metrics).
+# sweep and incremental-vs-scratch benchmarks (speedup-vs-serial,
+# rewrite-hit-rate, queries-per-blast metrics).
 bench-smoke:
-	$(GO) test -run NONE -bench 'BenchmarkFig16Kerberos|BenchmarkSweepParallel' -benchtime=1x
+	$(GO) test -run NONE -bench 'BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch' -benchtime=1x
 
 # Full paper-figure regeneration (see EXPERIMENTS.md).
 bench:
 	$(GO) test -run NONE -bench . -benchmem
 
-ci: vet build race bench-smoke
+# Run each native fuzz target briefly (go test allows one -fuzz
+# pattern per invocation). Seed corpora live under testdata/fuzz and
+# are also replayed by plain `make test`.
+fuzz-smoke:
+	$(GO) test ./internal/cc -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cc -run '^$$' -fuzz '^FuzzPreprocess$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cc -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bv -run '^$$' -fuzz '^FuzzTermConstruction$$' -fuzztime $(FUZZTIME)
+
+# Aggregate coverage over every package.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# One test-suite execution serving both the race check and the coverage
+# report, as in CI.
+race-cover:
+	$(GO) test -race -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+ci: vet build race-cover bench-smoke fuzz-smoke

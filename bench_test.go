@@ -226,6 +226,70 @@ func BenchmarkSweepParallel(b *testing.B) {
 	b.ReportMetric(float64(workers), "workers")
 }
 
+// BenchmarkIncrementalVsScratch quantifies the incremental solving
+// subsystem on the Figure 9 corpus: per-function bv.Session reuse
+// (blast the shared encoding once, answer the checker's query pairs
+// and masking loops under assumptions) against the scratch reference
+// that rebuilds solver and CNF for every query. The verdicts are
+// byte-identical (TestSweepIncrementalVsScratch); this benchmark
+// reports the effort gap — queries amortized per blast pass, learned
+// clauses reused, and total allocations — and fails if incrementality
+// stops paying for itself.
+func BenchmarkIncrementalVsScratch(b *testing.B) {
+	sources := corpus.GenerateFig9()
+	run := func(scratch bool) core.Stats {
+		opts := checkerOpts()
+		opts.ScratchSolve = scratch
+		checker := core.New(opts)
+		for _, ss := range sources {
+			mustCheck(b, checker, ss.System+".c", ss.Source)
+		}
+		return checker.Stats()
+	}
+
+	allocScratch := testing.AllocsPerRun(1, func() { run(true) })
+	allocInc := testing.AllocsPerRun(1, func() { run(false) })
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st core.Stats
+	for i := 0; i < b.N; i++ {
+		st = run(false)
+	}
+	b.StopTimer()
+	stScratch := run(true)
+
+	// SAT-core queries only: fast-path queries never blast regardless
+	// of mode, so they would flatter the ratio.
+	satQueries := st.Queries - st.FastPaths
+	qpbInc := float64(satQueries) / float64(max(int64(1), st.BlastPasses))
+	qpbScratch := float64(stScratch.Queries-stScratch.FastPaths) /
+		float64(max(int64(1), stScratch.BlastPasses))
+	queriesPerFunc := float64(satQueries) / float64(max(int64(1), int64(st.Functions)))
+
+	// The subsystem's contract: each blast pass is amortized over at
+	// least two queries on average (one shared encoding serving a whole
+	// query pair or masking loop), and skipping the per-query rebuild
+	// measurably cuts allocations.
+	if queriesPerFunc < 2 {
+		b.Fatalf("only %.2f solver queries per function; corpus exercises no query pairs", queriesPerFunc)
+	}
+	if qpbInc < 2 {
+		b.Fatalf("incremental sessions amortize only %.2f queries per blast pass, want >= 2", qpbInc)
+	}
+	if allocInc >= allocScratch {
+		b.Fatalf("incremental solving allocates more than scratch (%.0f >= %.0f)", allocInc, allocScratch)
+	}
+
+	b.ReportMetric(qpbInc, "queries-per-blast")
+	b.ReportMetric(qpbScratch, "queries-per-blast-scratch")
+	b.ReportMetric(queriesPerFunc, "queries-per-func")
+	b.ReportMetric(float64(st.LearntsReused), "learnts-reused")
+	b.ReportMetric(float64(st.TermsBlasted), "terms-blasted")
+	b.ReportMetric(float64(stScratch.TermsBlasted), "terms-blasted-scratch")
+	b.ReportMetric(allocScratch/allocInc, "alloc-ratio-scratch-vs-inc")
+}
+
 // BenchmarkFig17ReportsByAlgorithm reproduces the Figure 17 breakdown:
 // reports per algorithm over the synthetic Debian-style archive.
 func BenchmarkFig17ReportsByAlgorithm(b *testing.B) {

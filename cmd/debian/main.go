@@ -6,6 +6,7 @@
 // Usage:
 //
 //	debian [-packages N] [-files N] [-funcs N] [-seed N] [-j N] [-perf]
+//	       [-stream] [-buffered]
 //
 // With -perf it instead runs the three Figure 16 package profiles
 // (Kerberos-, Postgres-, and Linux-sized) and prints the table rows.
@@ -13,6 +14,13 @@
 // and reports in the output are identical for any value, as long as no
 // query hits the 5-second timeout (see corpus.Sweeper); only the
 // build/analysis timing line varies, being a measured duration.
+//
+// -stream prints each file's reports the moment the file (and every
+// file before it) finishes checking, instead of only the final summary
+// — on a big archive results appear immediately. -buffered selects the
+// legacy collect-then-merge strategy; the summary is byte-identical
+// either way. The two flags are mutually exclusive (-stream is
+// streaming by definition).
 package main
 
 import (
@@ -32,7 +40,17 @@ func main() {
 	seed := flag.Int64("seed", corpus.DefaultArchive.Seed, "generator seed")
 	perf := flag.Bool("perf", false, "run the Figure 16 performance profiles")
 	jobs := flag.Int("j", 0, "sweep workers (0 = one per CPU)")
+	stream := flag.Bool("stream", false, "print per-file reports as they are produced")
+	buffered := flag.Bool("buffered", false, "use the legacy buffered merge instead of streaming")
 	flag.Parse()
+	if *stream && *buffered {
+		fmt.Fprintln(os.Stderr, "debian: -stream and -buffered are mutually exclusive")
+		os.Exit(2)
+	}
+	if *stream && *perf {
+		fmt.Fprintln(os.Stderr, "debian: -stream does not apply to the -perf profile table")
+		os.Exit(2)
+	}
 
 	opts := core.Options{
 		Timeout:       5 * time.Second,
@@ -54,7 +72,7 @@ func main() {
 		}
 		fmt.Printf("%-16s %12s %14s %8s %10s %10s\n",
 			"package", "build time", "analysis time", "files", "queries", "timeouts")
-		sweeper := &corpus.Sweeper{Options: opts, Workers: *jobs}
+		sweeper := &corpus.Sweeper{Options: opts, Workers: *jobs, Buffered: *buffered}
 		for _, p := range profiles {
 			pkgs := corpus.GenerateArchive(p.cfg)
 			res, err := sweeper.Run(pkgs)
@@ -78,11 +96,28 @@ func main() {
 		Seed:             *seed,
 	}
 	pkgs := corpus.GenerateArchive(cfg)
-	sweeper := &corpus.Sweeper{Options: opts, Workers: *jobs}
-	res, err := sweeper.Run(pkgs)
+	sweeper := &corpus.Sweeper{Options: opts, Workers: *jobs, Buffered: *buffered}
+	var res *corpus.SweepResult
+	var err error
+	if *stream {
+		res, err = sweeper.RunStream(pkgs, func(fr corpus.FileResult) {
+			if len(fr.Reports) == 0 {
+				return
+			}
+			fmt.Printf("%s: %d report(s)\n", fr.File, len(fr.Reports))
+			for _, r := range fr.Reports {
+				fmt.Printf("  %v\n", r)
+			}
+		})
+	} else {
+		res, err = sweeper.Run(pkgs)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "debian: %v\n", err)
 		os.Exit(1)
+	}
+	if *stream {
+		fmt.Println()
 	}
 	fmt.Print(res.Format())
 }

@@ -114,10 +114,22 @@ func main() {
 	if workers > len(units) {
 		workers = len(units)
 	}
-	results := make([][]*core.Report, len(units))
-	errs := make([]error, len(units))
+	// Check inputs concurrently and stream each unit's output the
+	// moment it and every earlier unit are done: outcomes arrive in
+	// completion order on outCh and are re-sequenced into input order
+	// by the pending map, so nothing buffers for the whole run and the
+	// output is identical for any -j. The window semaphore (acquired by
+	// the feeder, released as units print) caps how far workers may run
+	// ahead of a slow early unit, bounding pending at O(workers).
+	type outcome struct {
+		idx     int
+		reports []*core.Report
+		err     error
+	}
 	workerStats := make([]core.Stats, workers)
 	idxCh := make(chan int)
+	outCh := make(chan outcome, workers)
+	window := make(chan struct{}, 4*workers)
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -129,37 +141,56 @@ func main() {
 				// Fail fast: once any input has errored, skip the
 				// remaining work. Units are dequeued in input order, so
 				// skipped units always come after the earliest error —
-				// the output loop below exits before reaching them.
+				// the emitter exits before reaching them.
 				if failed.Load() {
+					outCh <- outcome{idx: i}
 					continue
 				}
-				results[i], errs[i] = checkSource(checker, units[i].file, units[i].src)
-				if errs[i] != nil {
+				reports, err := checkSource(checker, units[i].file, units[i].src)
+				if err != nil {
 					failed.Store(true)
 				}
+				outCh <- outcome{idx: i, reports: reports, err: err}
 			}
 			workerStats[w] = checker.Stats()
 		}(w)
 	}
-	for i := range units {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
+	go func() {
+		for i := range units {
+			window <- struct{}{}
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+		close(outCh)
+	}()
 
 	total := 0
-	for i, u := range units {
-		if errs[i] != nil {
-			fmt.Fprintf(os.Stderr, "stack: %s: %v\n", u.name, errs[i])
-			os.Exit(2)
+	next := 0
+	pending := map[int]outcome{}
+	for o := range outCh {
+		pending[o.idx] = o
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			u := units[next]
+			if cur.err != nil {
+				fmt.Fprintf(os.Stderr, "stack: %s: %v\n", u.name, cur.err)
+				os.Exit(2)
+			}
+			if u.corpus {
+				fmt.Printf("=== %s: %d report(s), %d planted bug(s)\n", u.name, len(cur.reports), u.planted)
+				total += len(cur.reports)
+			} else if len(cur.reports) == 0 {
+				fmt.Printf("%s: no unstable code found\n", u.name)
+			}
+			emit(cur.reports)
+			next++
+			<-window
 		}
-		if u.corpus {
-			fmt.Printf("=== %s: %d report(s), %d planted bug(s)\n", u.name, len(results[i]), u.planted)
-			total += len(results[i])
-		} else if len(results[i]) == 0 {
-			fmt.Printf("%s: no unstable code found\n", u.name)
-		}
-		emit(results[i])
 	}
 	if *runCorpus {
 		fmt.Printf("total: %d report(s)\n", total)

@@ -12,6 +12,11 @@ import (
 type blaster struct {
 	s     *sat.Solver
 	cache map[*Term][]sat.Lit
+	// blasts counts cache misses, i.e. terms actually lowered to CNF.
+	// Terms already in the cache cost a map lookup; the gap between
+	// queries issued and terms blasted is what incremental sessions
+	// amortize.
+	blasts int64
 	// Constant literals: litTrue is a variable forced true.
 	litTrue  sat.Lit
 	litFalse sat.Lit
@@ -280,11 +285,18 @@ func (b *blaster) shiftVec(x, amt []sat.Lit, kind byte) []sat.Lit {
 	return cur
 }
 
+// has reports whether t has already been lowered by this blaster.
+func (b *blaster) has(t *Term) bool {
+	_, ok := b.cache[t]
+	return ok
+}
+
 // blast returns the literal vector for t, memoized.
 func (b *blaster) blast(bld *Builder, t *Term) []sat.Lit {
 	if v, ok := b.cache[t]; ok {
 		return v
 	}
+	b.blasts++
 	var out []sat.Lit
 	switch t.op {
 	case OpConst:

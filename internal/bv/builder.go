@@ -13,6 +13,13 @@ type Builder struct {
 	consts map[constKey]*Term
 	vars   map[string]*Term
 	nextID int
+	// NoRewrite disables the word-level rewrite engine and commutative
+	// canonicalization: terms intern exactly as constructed. This is the
+	// reference mode of the differential test layer — a rewrite-free
+	// builder paired with scratch solving defines the semantics the
+	// optimized stack is checked against. Production callers leave it
+	// false.
+	NoRewrite bool
 	// Stats.
 	//
 	// TermsCreated counts interned nodes; CacheHits counts hash-consing
@@ -130,7 +137,7 @@ func (b *Builder) binary(op Op, x, y *Term) *Term {
 	// Canonicalize commutative operations so a lone constant operand
 	// sits on the right: the rewrite rules only inspect y, and the
 	// interned node is shared between c⊕x and x⊕c.
-	if x.op == OpConst && y.op != OpConst {
+	if !b.NoRewrite && x.op == OpConst && y.op != OpConst {
 		switch op {
 		case OpAnd, OpOr, OpXor, OpAdd, OpMul, OpEq:
 			x, y = y, x
@@ -140,8 +147,10 @@ func (b *Builder) binary(op Op, x, y *Term) *Term {
 	if op == OpEq || op == OpULT || op == OpULE || op == OpSLT || op == OpSLE {
 		w = 1
 	}
-	if t := b.rewriteBinary(op, x, y); t != nil {
-		return t
+	if !b.NoRewrite {
+		if t := b.rewriteBinary(op, x, y); t != nil {
+			return t
+		}
 	}
 	return b.intern(&Term{op: op, width: w, args: []*Term{x, y}})
 }
@@ -150,16 +159,20 @@ func (b *Builder) binary(op Op, x, y *Term) *Term {
 
 // Not returns bitwise complement.
 func (b *Builder) Not(x *Term) *Term {
-	if t := b.rewriteNot(x); t != nil {
-		return t
+	if !b.NoRewrite {
+		if t := b.rewriteNot(x); t != nil {
+			return t
+		}
 	}
 	return b.intern(&Term{op: OpNot, width: x.width, args: []*Term{x}})
 }
 
 // Neg returns two's-complement negation.
 func (b *Builder) Neg(x *Term) *Term {
-	if t := b.rewriteNeg(x); t != nil {
-		return t
+	if !b.NoRewrite {
+		if t := b.rewriteNeg(x); t != nil {
+			return t
+		}
 	}
 	return b.intern(&Term{op: OpNeg, width: x.width, args: []*Term{x}})
 }
@@ -212,8 +225,10 @@ func (b *Builder) ITE(cond, x, y *Term) *Term {
 	if x.width != y.width {
 		panic("bv: ITE arm width mismatch")
 	}
-	if t := b.rewriteITE(cond, x, y); t != nil {
-		return t
+	if !b.NoRewrite {
+		if t := b.rewriteITE(cond, x, y); t != nil {
+			return t
+		}
 	}
 	return b.intern(&Term{op: OpITE, width: x.width, args: []*Term{cond, x, y}})
 }
@@ -226,8 +241,10 @@ func (b *Builder) ZExt(x *Term, w int) *Term {
 	if w == x.width {
 		return x
 	}
-	if t := b.rewriteZExt(x, w); t != nil {
-		return t
+	if !b.NoRewrite {
+		if t := b.rewriteZExt(x, w); t != nil {
+			return t
+		}
 	}
 	return b.intern(&Term{op: OpZExt, width: w, args: []*Term{x}})
 }
@@ -240,8 +257,10 @@ func (b *Builder) SExt(x *Term, w int) *Term {
 	if w == x.width {
 		return x
 	}
-	if t := b.rewriteSExt(x, w); t != nil {
-		return t
+	if !b.NoRewrite {
+		if t := b.rewriteSExt(x, w); t != nil {
+			return t
+		}
 	}
 	return b.intern(&Term{op: OpSExt, width: w, args: []*Term{x}})
 }
@@ -255,16 +274,20 @@ func (b *Builder) Extract(x *Term, hi, lo int) *Term {
 	if w == x.width {
 		return x
 	}
-	if t := b.rewriteExtract(x, hi, lo); t != nil {
-		return t
+	if !b.NoRewrite {
+		if t := b.rewriteExtract(x, hi, lo); t != nil {
+			return t
+		}
 	}
 	return b.intern(&Term{op: OpExtract, width: w, lo: lo, args: []*Term{x}})
 }
 
 // Concat returns hi ++ lo (hi occupies the most significant bits).
 func (b *Builder) Concat(hi, lo *Term) *Term {
-	if t := b.rewriteConcat(hi, lo); t != nil {
-		return t
+	if !b.NoRewrite {
+		if t := b.rewriteConcat(hi, lo); t != nil {
+			return t
+		}
 	}
 	return b.intern(&Term{op: OpConcat, width: hi.width + lo.width, args: []*Term{hi, lo}})
 }

@@ -131,6 +131,18 @@ func (b *Builder) rewriteExtract(x *Term, hi, lo int) *Term {
 		// (extract hi lo (extract _ lo')) = extract (hi+lo') (lo+lo')
 		return b.hit(b.Extract(x.args[0], hi+x.lo, lo+x.lo))
 	}
+	if x.op == OpConcat {
+		// Distribute extract over concat when the range lies entirely in
+		// one half, so the other half's circuit is never blasted. Ranges
+		// spanning the seam are left alone.
+		hiT, loT := x.args[0], x.args[1]
+		if hi < loT.width {
+			return b.hit(b.Extract(loT, hi, lo))
+		}
+		if lo >= loT.width {
+			return b.hit(b.Extract(hiT, hi-loT.width, lo-loT.width))
+		}
+	}
 	return nil
 }
 
@@ -251,10 +263,30 @@ func (b *Builder) rewriteBinary(op Op, x, y *Term) *Term {
 			if y.val.Cmp(big.NewInt(int64(x.width))) >= 0 {
 				return b.hit(b.Const(big.NewInt(0), x.width)) // oversized shift = 0
 			}
+			if x.op == op && x.args[1].op == OpConst {
+				// Shift-of-shift folding: (x ⋘ c1) ⋘ c2 = x ⋘ (c1+c2) for
+				// same-direction shl/lshr. Both constants are < width here
+				// (the oversized rule above fires first), so the sum cannot
+				// wrap at the amount's width; an oversized sum folds to 0
+				// through the recursive construction.
+				sum := new(big.Int).Add(x.args[1].val, y.val)
+				return b.hit(b.binary(op, x.args[0], b.Const(sum, x.width)))
+			}
 		}
 	case OpAShr:
 		if cy && y.val.Sign() == 0 {
 			return b.hit(x)
+		}
+		if cy && x.op == OpAShr && x.args[1].op == OpConst {
+			// (x >>a c1) >>a c2 = x >>a min(c1+c2, w): once the total
+			// reaches the width the result is pure sign fill, which a
+			// shift by exactly w also produces, so clamping keeps the
+			// amount representable even when c1 or c2 is oversized.
+			sum := new(big.Int).Add(x.args[1].val, y.val)
+			if wBig := big.NewInt(int64(x.width)); sum.Cmp(wBig) >= 0 {
+				sum = wBig
+			}
+			return b.hit(b.AShr(x.args[0], b.Const(sum, x.width)))
 		}
 	case OpEq:
 		if x == y {

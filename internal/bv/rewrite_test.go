@@ -346,7 +346,9 @@ var ruleTests = []ruleTest{
 			return got.op == OpITE && got.args[0].op != OpNot
 		}},
 
-	// Extraction composition.
+	// Extraction composition. The composed range [7:4] lies entirely in
+	// the low half of the concat, so after the extracts merge the
+	// extract-over-concat rule strips the concat as well.
 	{"extract-extract", func(b *Builder, x, y *Term) *Term {
 		return b.Extract(b.Extract(b.Concat(x, y), 11, 2), 5, 2)
 	},
@@ -355,7 +357,55 @@ var ruleTests = []ruleTest{
 			return new(big.Int).And(new(big.Int).Rsh(cat, 4), mask(4))
 		},
 		func(b *Builder, x, y, got *Term) bool {
-			return got.op == OpExtract && got.args[0].op == OpConcat && got.lo == 4
+			return got.op == OpExtract && got.args[0] == y && got.lo == 4
+		}},
+	{"extract-concat-low", func(b *Builder, x, y *Term) *Term {
+		return b.Extract(b.Concat(x, y), 5, 2)
+	},
+		func(x, y *big.Int) *big.Int { return new(big.Int).And(new(big.Int).Rsh(y, 2), mask(4)) },
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpExtract && got.args[0] == y && got.lo == 2
+		}},
+	{"extract-concat-high", func(b *Builder, x, y *Term) *Term {
+		return b.Extract(b.Concat(x, y), 13, 9)
+	},
+		func(x, y *big.Int) *big.Int { return new(big.Int).And(new(big.Int).Rsh(x, 1), mask(5)) },
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpExtract && got.args[0] == x && got.lo == 1
+		}},
+
+	// Shift-of-shift folding.
+	{"shl-shl", func(b *Builder, x, y *Term) *Term {
+		return b.Shl(b.Shl(x, b.ConstInt64(2, ruleWidth)), b.ConstInt64(3, ruleWidth))
+	},
+		func(x, y *big.Int) *big.Int {
+			return refBinary(OpShl, ruleWidth, refBinary(OpShl, ruleWidth, x, big.NewInt(2)), big.NewInt(3))
+		},
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpShl && got.args[0] == x && isConstVal(got.args[1], 5)
+		}},
+	{"lshr-lshr-oversized", func(b *Builder, x, y *Term) *Term {
+		return b.LShr(b.LShr(x, b.ConstInt64(5, ruleWidth)), b.ConstInt64(4, ruleWidth))
+	},
+		func(x, y *big.Int) *big.Int { return big.NewInt(0) },
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 0) }},
+	{"ashr-ashr", func(b *Builder, x, y *Term) *Term {
+		return b.AShr(b.AShr(x, b.ConstInt64(3, ruleWidth)), b.ConstInt64(4, ruleWidth))
+	},
+		func(x, y *big.Int) *big.Int {
+			return refBinary(OpAShr, ruleWidth, refBinary(OpAShr, ruleWidth, x, big.NewInt(3)), big.NewInt(4))
+		},
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpAShr && got.args[0] == x && isConstVal(got.args[1], 7)
+		}},
+	{"ashr-ashr-clamped", func(b *Builder, x, y *Term) *Term {
+		return b.AShr(b.AShr(x, b.ConstInt64(6, ruleWidth)), b.ConstInt64(7, ruleWidth))
+	},
+		func(x, y *big.Int) *big.Int {
+			return refBinary(OpAShr, ruleWidth, refBinary(OpAShr, ruleWidth, x, big.NewInt(6)), big.NewInt(7))
+		},
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpAShr && got.args[0] == x && isConstVal(got.args[1], int64(ruleWidth))
 		}},
 }
 

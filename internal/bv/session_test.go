@@ -1,0 +1,117 @@
+package bv
+
+import (
+	"testing"
+)
+
+// TestSessionIncrementalAmortizesBlasting: a query sequence over one
+// shared encoding must blast each term once in incremental mode, while
+// scratch mode re-encodes per query — with identical verdicts.
+func TestSessionIncrementalAmortizesBlasting(t *testing.T) {
+	bld := NewBuilder()
+	x := bld.Var("x", 8)
+	y := bld.Var("y", 8)
+	sum := bld.Add(x, y)
+	// A query pair in the checker's shape: a reachability-style predicate,
+	// then a Δ-style refinement over the same encoding, then masking
+	// variants that reuse every term.
+	q1 := bld.ULT(sum, bld.ConstInt64(200, 8))
+	q2 := bld.Eq(sum, bld.ConstInt64(10, 8))
+	q3 := bld.ULT(x, bld.ConstInt64(5, 8))
+
+	inc := NewSession(bld)
+	scr := NewSession(bld)
+	scr.Scratch = true
+
+	queries := [][]*Term{{q1}, {q1, q2}, {q1, q2, q3}, {q2, q3}, {q1}}
+	for i, q := range queries {
+		ri, rs := inc.Solve(q...), scr.Solve(q...)
+		if ri != rs {
+			t.Fatalf("query %d: incremental=%v scratch=%v", i, ri, rs)
+		}
+		if ri != Sat {
+			t.Fatalf("query %d: %v, want sat", i, ri)
+		}
+		if inc.HasModel() && i >= 1 && i <= 3 { // queries that include q2
+			if v := inc.Value(sum); v.Int64() != 10 {
+				t.Fatalf("query %d: model sum=%v violates q2", i, v)
+			}
+		}
+	}
+	if inc.Queries != int64(len(queries)) || scr.Queries != int64(len(queries)) {
+		t.Fatalf("query counts: inc=%d scr=%d want %d", inc.Queries, scr.Queries, len(queries))
+	}
+	if inc.Blasts() >= scr.Blasts() {
+		t.Errorf("incremental blasted %d terms, scratch %d; reuse not happening", inc.Blasts(), scr.Blasts())
+	}
+	// The repeat of q1 (all terms cached) must not count as a blast pass.
+	if inc.BlastPasses >= inc.Queries {
+		t.Errorf("blast passes %d not amortized over %d queries", inc.BlastPasses, inc.Queries)
+	}
+	if scr.BlastPasses != scr.Queries {
+		t.Errorf("scratch blast passes %d, want one per query (%d)", scr.BlastPasses, scr.Queries)
+	}
+	if scr.LearntsReused != 0 {
+		t.Errorf("scratch reused %d learned clauses, want 0", scr.LearntsReused)
+	}
+}
+
+// TestSessionUnsatCoreMatchesScratch: SolveCore verdicts and fast-path
+// accounting agree between the modes, and unsat cores identify the
+// same contradictory assumptions on propagation-decided queries.
+func TestSessionUnsatCoreMatchesScratch(t *testing.T) {
+	bld := NewBuilder()
+	x := bld.Var("x", 8)
+	lt := bld.ULT(x, bld.ConstInt64(4, 8))
+	ge := bld.ULE(bld.ConstInt64(7, 8), x)
+	mid := bld.Eq(bld.And(x, bld.ConstInt64(0xF0, 8)), bld.ConstInt64(0, 8))
+
+	for _, scratch := range []bool{false, true} {
+		s := NewSession(bld)
+		s.Scratch = scratch
+		res, core := s.SolveCore(mid, lt, ge)
+		if res != Unsat {
+			t.Fatalf("scratch=%v: %v, want unsat", scratch, res)
+		}
+		has := map[int]bool{}
+		for _, i := range core {
+			has[i] = true
+		}
+		if !has[1] || !has[2] {
+			t.Errorf("scratch=%v: core %v misses the contradictory pair {1,2}", scratch, core)
+		}
+		// The session stays usable after Unsat.
+		if res := s.Solve(mid, lt); res != Sat {
+			t.Fatalf("scratch=%v: follow-up query %v, want sat", scratch, res)
+		}
+		if v := s.Value(x); v.Int64() >= 4 {
+			t.Errorf("scratch=%v: model x=%v violates x<4", scratch, v)
+		}
+	}
+}
+
+// TestSessionFastPathNoModel: constant queries are answered without a
+// SAT core in both modes and carry no model.
+func TestSessionFastPathNoModel(t *testing.T) {
+	bld := NewBuilder()
+	x := bld.Var("x", 8)
+	for _, scratch := range []bool{false, true} {
+		s := NewSession(bld)
+		s.Scratch = scratch
+		if got := s.Solve(bld.ULE(bld.ConstInt64(0, 8), x)); got != Sat {
+			t.Fatalf("scratch=%v: const-true: %v", scratch, got)
+		}
+		if s.HasModel() {
+			t.Errorf("scratch=%v: fast-path Sat claims a model", scratch)
+		}
+		if got := s.Solve(bld.ULT(x, bld.ConstInt64(0, 8))); got != Unsat {
+			t.Fatalf("scratch=%v: const-false: %v", scratch, got)
+		}
+		if s.FastPaths != 2 {
+			t.Errorf("scratch=%v: FastPaths=%d, want 2", scratch, s.FastPaths)
+		}
+		if s.BlastPasses != 0 {
+			t.Errorf("scratch=%v: fast paths blasted terms (%d passes)", scratch, s.BlastPasses)
+		}
+	}
+}

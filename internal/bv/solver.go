@@ -154,9 +154,21 @@ func (s *Solver) Solve(assumptions ...*Term) Result {
 // verdict. Calling it in any other state — including after a Sat
 // decided by the constant fast path, which has no model — is a caller
 // bug and panics rather than returning stale bits.
+//
+// Variables and constants that were not part of the solved query (for
+// example a variable the rewrite engine folded out of every
+// assumption) are unconstrained by the model; their free bits read as
+// zero, a don't-care completion that satisfies the query like any
+// other. A *composite* term that was never blasted has no meaningful
+// model value — its defining clauses postdate the model — so asking
+// for one panics instead of returning bits that violate the term's own
+// semantics.
 func (s *Solver) Value(t *Term) *big.Int {
 	if !s.modelValid {
 		panic("bv: Value called without a model (last verdict was not a SAT-core Sat)")
+	}
+	if t.op != OpVar && t.op != OpConst && !s.bl.has(t) {
+		panic("bv: Value of a composite term that was not part of the solved query")
 	}
 	lits := s.bl.blast(s.bld, t)
 	v := new(big.Int)
@@ -223,3 +235,18 @@ func (s *Solver) SolveCore(assumptions ...*Term) (Result, []int) {
 func (s *Solver) Stats() (vars, clauses int) {
 	return s.sat.NumVars(), s.sat.NumClauses()
 }
+
+// Blasts returns the number of terms this solver has lowered to CNF.
+// Terms are blasted at most once per solver; the ratio of queries to
+// blasts measures how much encoding work incremental use amortizes.
+func (s *Solver) Blasts() int64 { return s.bl.blasts }
+
+// HasModel reports whether the last verdict was a Sat produced by the
+// SAT core, i.e. whether Value/ValueBool may be called. Fast-path Sat
+// verdicts (constant assumptions) carry no model.
+func (s *Solver) HasModel() bool { return s.modelValid }
+
+// LearnedClauses returns the number of learned clauses currently
+// retained by the SAT core. They persist across Solve calls, so this is
+// the conflict knowledge the next query starts from.
+func (s *Solver) LearnedClauses() int { return s.sat.NumLearnts() }

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -150,6 +151,48 @@ func TestPreprocessRecursionGuard(t *testing.T) {
 	}
 	if n != 1 {
 		t.Fatalf("self-referential macro expanded %d times", n)
+	}
+}
+
+// TestPreprocessRunawayExpansionBounded: a mutually recursive doubling
+// chain ("billion laughs") must hit the expansion budget and error
+// instead of exhausting memory — the hide set alone only stops direct
+// self-reference.
+func TestPreprocessRunawayExpansionBounded(t *testing.T) {
+	var src strings.Builder
+	// A0 -> A1 A1 -> ... -> A29 A29 -> 2^29 tokens without a budget.
+	const n = 30
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&src, "#define A%d A%d A%d\n", i, i+1, i+1)
+	}
+	fmt.Fprintf(&src, "#define A%d x\n", n-1)
+	src.WriteString("int y = A0;\n")
+	_, err := NewPreprocessor().Preprocess("bomb.c", src.String())
+	if err == nil {
+		t.Fatal("exponential macro expansion succeeded; budget not enforced")
+	}
+	if !strings.Contains(err.Error(), "runaway expansion") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestPreprocessBudgetSparesMacroFreeTokens: ordinary source tokens
+// must not consume the expansion budget; only expansion-produced
+// tokens are charged.
+func TestPreprocessBudgetSparesMacroFreeTokens(t *testing.T) {
+	pp := NewPreprocessor()
+	if _, err := pp.Preprocess("plain.c", "int a; int b; int c;\n"); err != nil {
+		t.Fatal(err)
+	}
+	if pp.expansions != 0 {
+		t.Fatalf("macro-free source charged %d expansion tokens", pp.expansions)
+	}
+	pp = NewPreprocessor()
+	if _, err := pp.Preprocess("m.c", "#define TWO 1 + 1\nint a = TWO;\n"); err != nil {
+		t.Fatal(err)
+	}
+	if pp.expansions == 0 {
+		t.Fatal("macro body tokens not charged to the budget")
 	}
 }
 

@@ -23,7 +23,18 @@ type Macro struct {
 // exactly as STACK does (paper §4.2).
 type Preprocessor struct {
 	Macros map[string]*Macro
+	// expansions counts tokens flowing through expansion rescans within
+	// one run, bounding the output of mutually recursive macro chains
+	// ("billion laughs"): the hide set stops direct recursion but not
+	// exponential growth through distinct names, so a budget turns that
+	// into an error instead of an out-of-memory. Top-level source
+	// tokens are never charged; only expansion-produced ones.
+	expansions int
 }
+
+// maxMacroExpansions bounds the number of expansion steps per
+// translation unit; orders of magnitude above any legitimate input.
+const maxMacroExpansions = 1 << 20
 
 // NewPreprocessor returns a preprocessor with no predefined macros.
 func NewPreprocessor() *Preprocessor {
@@ -41,6 +52,7 @@ func (pp *Preprocessor) Preprocess(file, src string) ([]Token, error) {
 
 // lineOf groups raw tokens into directive lines vs. ordinary tokens.
 func (pp *Preprocessor) run(toks []Token) ([]Token, error) {
+	pp.expansions = 0
 	var out []Token
 	// Conditional-inclusion stack: each entry records whether the
 	// current branch is active and whether any branch was taken.
@@ -298,6 +310,15 @@ func (pp *Preprocessor) rescan(body []Token, hide map[string]bool) ([]Token, int
 func (pp *Preprocessor) rescanAll(body []Token, hide map[string]bool) ([]Token, int, error) {
 	var out []Token
 	for i := 0; i < len(body); {
+		// Every token here was produced by an expansion (top-level
+		// source tokens never pass through a rescan), so charging the
+		// budget per rescanned token bounds total expansion output: a
+		// macro-free file of any size never trips it, while mutually
+		// recursive doubling chains ("billion laughs") hit the ceiling
+		// long before exhausting memory.
+		if pp.expansions++; pp.expansions > maxMacroExpansions {
+			return nil, 0, errf(body[i].Pos, "macro expansion exceeds %d tokens (runaway expansion)", maxMacroExpansions)
+		}
 		exp, n, err := pp.expand(body, i, hide)
 		if err != nil {
 			return nil, 0, err

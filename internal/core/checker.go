@@ -40,6 +40,19 @@ type Options struct {
 	MinUBSets bool
 	// Inline runs the IR inliner before checking (paper §4.2).
 	Inline bool
+	// ScratchSolve disables incremental solving: every solver query is
+	// decided by a fresh SAT core over a freshly blasted encoding, as if
+	// it were the only query ever issued. Reports, counts, and the
+	// ReportLog are byte-identical to the default incremental mode —
+	// only the work differs — which is exactly what the differential
+	// tests assert. The identity carries a caveat like the sweep's
+	// worker-count guarantee, but stronger: retained learned clauses
+	// change how fast (and in how many conflicts) a query finishes, so
+	// either a wall-clock Timeout or a MaxConflictsPerQuery budget can
+	// flip a near-limit query to Unknown in one mode only. Strict
+	// byte-for-byte comparison requires both budgets unset (zero).
+	// Production callers leave ScratchSolve false.
+	ScratchSolve bool
 	// Flags models the gcc options discussed in §7 that promise
 	// C*-like semantics for some UB kinds: code is not unstable with
 	// respect to behavior the compiler has been told to define.
@@ -99,6 +112,14 @@ type Stats struct {
 	RewriteHits  int64
 	TermsCreated int64
 	FastPaths    int64
+	// Incremental-session effort (see bv.Session): TermsBlasted counts
+	// terms lowered to CNF, BlastPasses counts queries that lowered at
+	// least one new term (so Queries/BlastPasses is the amortization
+	// ratio), and LearntsReused sums the learned clauses already
+	// available when each query started.
+	TermsBlasted  int64
+	BlastPasses   int64
+	LearntsReused int64
 }
 
 // Add accumulates other into s. It is the reduction step for
@@ -116,6 +137,9 @@ func (s *Stats) Add(other Stats) {
 	s.RewriteHits += other.RewriteHits
 	s.TermsCreated += other.TermsCreated
 	s.FastPaths += other.FastPaths
+	s.TermsBlasted += other.TermsBlasted
+	s.BlastPasses += other.BlastPasses
+	s.LearntsReused += other.LearntsReused
 }
 
 // Checker is the STACK checker. Create with New; safe for sequential
@@ -167,10 +191,16 @@ func (c *Checker) CheckFunc(f *ir.Func) []*Report {
 	c.stats.Functions++
 	c.stats.Blocks += len(f.Blocks)
 
+	// One incremental session per function: the shared encoding is
+	// blasted once and every query pair (reachability, then the Δ
+	// "optimization-safe?" query) plus the Fig. 8 masking loop run under
+	// assumptions against the same SAT core. ScratchSolve flips the
+	// session into the per-query-rebuild reference mode.
 	bld := bv.NewBuilder()
-	solver := bv.NewSolver(bld)
+	solver := bv.NewSession(bld)
 	solver.Timeout = c.opts.Timeout
 	solver.MaxConflicts = c.opts.MaxConflictsPerQuery
+	solver.Scratch = c.opts.ScratchSolve
 	enc := newEncoder(bld, f)
 	ubs := insertUBConds(f)
 	dom := ir.ComputeDom(f)
@@ -199,6 +229,9 @@ func (c *Checker) CheckFunc(f *ir.Func) []*Report {
 	c.stats.FastPaths += solver.FastPaths
 	c.stats.RewriteHits += int64(bld.RewriteHits)
 	c.stats.TermsCreated += int64(bld.TermsCreated)
+	c.stats.TermsBlasted += solver.Blasts()
+	c.stats.BlastPasses += solver.BlastPasses
+	c.stats.LearntsReused += solver.LearntsReused
 	for _, r := range reports {
 		c.stats.ReportsByAlgo[r.Algo]++
 	}
@@ -209,7 +242,7 @@ type funcState struct {
 	c          *Checker
 	f          *ir.Func
 	enc        *encoder
-	solver     *bv.Solver
+	solver     *bv.Session
 	ubs        map[*ir.Value][]*UBCond
 	dom        *ir.DomTree
 	allConds   []*UBCond

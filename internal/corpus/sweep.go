@@ -12,12 +12,21 @@ package corpus
 //
 // Per-worker state is fully isolated — stats accumulate lock-free in
 // each worker's Checker and are reduced with core.Stats.Add at the end
-// — and results land in a slice slot keyed by the file's position in
-// the archive, so every count and report in the merged SweepResult
-// (including the sorted report log) is byte-identical for any worker
-// count. The only fields outside that guarantee are BuildTime and
-// AnalysisTime, which are wall-clock sums over workers and vary run
-// to run like any measured duration.
+// — and per-file results are re-sequenced into archive order by a
+// deterministic in-order emitter before they touch the aggregate, so
+// every count and report in the merged SweepResult (including the
+// sorted report log) is byte-identical for any worker count. The only
+// fields outside that guarantee are BuildTime and AnalysisTime, which
+// are wall-clock sums over workers and vary run to run like any
+// measured duration.
+//
+// By default results stream: check workers hand each finished file to
+// the emitter over a bounded channel, the emitter holds only the
+// out-of-order files currently in flight (O(Workers), not O(archive)),
+// and the aggregate — plus the caller's RunStream callback, if any —
+// consumes files strictly in archive order. Sweeper.Buffered selects
+// the legacy collect-everything-then-merge path instead; both modes
+// produce byte-identical SweepResult values, which sweep tests assert.
 //
 // One caveat bounds that guarantee: it assumes each solver query's
 // verdict is itself reproducible. With Options.Timeout set, a query
@@ -51,12 +60,31 @@ type Sweeper struct {
 	// are identical for every worker count (see the package caveats on
 	// timing fields and wall-clock query timeouts).
 	Workers int
+	// Buffered selects the legacy merge strategy: collect every file's
+	// result in an archive-sized slice, then reduce. The default
+	// (false) streams results through the in-order emitter with
+	// O(Workers) buffering. Output is byte-identical either way.
+	Buffered bool
 }
 
 // FileReport pairs a report with the archive file that produced it.
 type FileReport struct {
 	File   string
 	Report *core.Report
+}
+
+// FileResult is one archive file's finished analysis, as delivered to
+// RunStream callbacks in archive order.
+type FileResult struct {
+	// Index is the file's position in the archive; callbacks observe
+	// strictly increasing indices 0, 1, 2, ...
+	Index        int
+	Package      string
+	File         string
+	Functions    int
+	Reports      []*core.Report
+	BuildTime    time.Duration
+	AnalysisTime time.Duration
 }
 
 // SweepResult aggregates a whole-archive run: the quantities of the
@@ -79,6 +107,13 @@ type SweepResult struct {
 	RewriteHits  int64
 	TermsCreated int64
 	FastPaths    int64
+	// TermsBlasted / BlastPasses / LearntsReused surface the
+	// incremental solving sessions (see bv.Session): terms lowered to
+	// CNF, queries that lowered anything new, and learned clauses
+	// already retained when each query began.
+	TermsBlasted  int64
+	BlastPasses   int64
+	LearntsReused int64
 	// ReportLog lists every report with its file, sorted by file, then
 	// position, then algorithm — the deterministic flat view of the
 	// sweep, independent of worker count and scheduling.
@@ -93,7 +128,7 @@ func Sweep(pkgs []Package, opts core.Options) (*SweepResult, error) {
 
 // fileJob is one archive file, numbered by archive position.
 type fileJob struct {
-	idx    int // global file index; fixes the output slot
+	idx    int // global file index; fixes the emit order
 	pkgIdx int
 	name   string
 	src    string
@@ -108,6 +143,7 @@ type builtUnit struct {
 
 // fileResult is the check stage's output for one file.
 type fileResult struct {
+	idx          int
 	pkgIdx       int
 	name         string
 	funcs        int
@@ -116,13 +152,7 @@ type fileResult struct {
 	analysisTime time.Duration
 }
 
-// Run sweeps the archive through the parallel pipeline.
-func (s *Sweeper) Run(pkgs []Package) (*SweepResult, error) {
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
+func makeJobs(pkgs []Package) []fileJob {
 	var jobs []fileJob
 	for pi, p := range pkgs {
 		for fi, src := range p.Files {
@@ -134,8 +164,120 @@ func (s *Sweeper) Run(pkgs []Package) (*SweepResult, error) {
 			})
 		}
 	}
+	return jobs
+}
 
-	results := make([]fileResult, len(jobs))   // disjoint per-index writes
+func (s *Sweeper) workerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run sweeps the archive through the parallel pipeline and returns the
+// merged result. The default implementation streams (see RunStream);
+// Buffered selects the legacy archive-sized collection slice.
+func (s *Sweeper) Run(pkgs []Package) (*SweepResult, error) {
+	if s.Buffered {
+		return s.runBuffered(pkgs)
+	}
+	return s.RunStream(pkgs, nil)
+}
+
+// RunStream sweeps the archive and additionally calls emit (if
+// non-nil) once per file, in archive order, as soon as the file and
+// every earlier one have been checked — long before the whole archive
+// finishes. Results never accumulate beyond the files currently in
+// flight, so memory is O(Workers) regardless of archive size. emit
+// runs on the emitter goroutine; a slow callback backpressures the
+// pipeline rather than growing a buffer. The returned SweepResult is
+// byte-identical to Run's for any worker count.
+func (s *Sweeper) RunStream(pkgs []Package, emit func(FileResult)) (*SweepResult, error) {
+	workers := s.workerCount()
+	acc := newAccumulator(pkgs)
+	resCh := make(chan fileResult, workers)
+	// window is the admission semaphore that makes the O(Workers)
+	// memory claim true rather than merely likely: the feeder acquires
+	// a slot per file and the emitter releases it when the file is
+	// emitted in order, so no more than cap(window) files can sit
+	// between the feeder and the emitter — even when one pathological
+	// file stalls a checker while every other worker races ahead.
+	window := make(chan struct{}, 4*workers)
+	emitterDone := make(chan struct{})
+	go func() {
+		// Deterministic in-order emitter: results arrive in completion
+		// order and are re-sequenced by archive index. pending holds
+		// only files that finished ahead of a still-running earlier
+		// file, bounded by the admission window.
+		defer close(emitterDone)
+		next := 0
+		pending := make(map[int]fileResult, workers)
+		for r := range resCh {
+			pending[r.idx] = r
+			for {
+				fr, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				acc.add(fr)
+				if emit != nil {
+					emit(FileResult{
+						Index:        fr.idx,
+						Package:      pkgs[fr.pkgIdx].Name,
+						File:         fr.name,
+						Functions:    fr.funcs,
+						Reports:      fr.reports,
+						BuildTime:    fr.buildTime,
+						AnalysisTime: fr.analysisTime,
+					})
+				}
+				next++
+				<-window
+			}
+		}
+	}()
+	workerStats, err := s.runPipelineWindowed(pkgs, workers, window, func(r fileResult) { resCh <- r })
+	close(resCh)
+	<-emitterDone
+	if err != nil {
+		return nil, err
+	}
+	return acc.finish(workerStats), nil
+}
+
+// runBuffered is the legacy merge strategy: every file's result lands
+// in an archive-sized slice slot, reduced only after the pipeline
+// drains.
+func (s *Sweeper) runBuffered(pkgs []Package) (*SweepResult, error) {
+	workers := s.workerCount()
+	files := 0
+	for _, p := range pkgs {
+		files += len(p.Files)
+	}
+	results := make([]fileResult, files) // disjoint per-index writes
+	workerStats, err := s.runPipelineWindowed(pkgs, workers, nil, func(r fileResult) { results[r.idx] = r })
+	if err != nil {
+		return nil, err
+	}
+	acc := newAccumulator(pkgs)
+	for i := range results {
+		acc.add(results[i])
+	}
+	return acc.finish(workerStats), nil
+}
+
+// runPipelineWindowed runs the feeder→build→check stages over the
+// archive, invoking deliver from check workers (possibly concurrently)
+// for each finished file. When window is non-nil the feeder acquires a
+// slot from it per file before feeding (the streaming emitter releases
+// slots as it advances), bounding the files in flight. It returns the
+// per-worker checker stats and the first error; on error the pipeline
+// shuts down without deadlocking (feeder and builders select on the
+// stop channel — including the feeder's window acquisition) and
+// undelivered files are simply absent.
+func (s *Sweeper) runPipelineWindowed(pkgs []Package, workers int, window chan struct{}, deliver func(fileResult)) ([]core.Stats, error) {
+	jobs := makeJobs(pkgs)
 	workerStats := make([]core.Stats, workers) // lock-free per-worker accumulation
 
 	jobCh := make(chan fileJob)
@@ -188,14 +330,15 @@ func (s *Sweeper) Run(pkgs []Package) (*SweepResult, error) {
 				funcs := len(u.prog.Funcs)
 				t1 := time.Now()
 				reports := checker.CheckProgram(u.prog)
-				results[u.idx] = fileResult{
+				deliver(fileResult{
+					idx:          u.idx,
 					pkgIdx:       u.pkgIdx,
 					name:         u.name,
 					funcs:        funcs,
 					reports:      reports,
 					buildTime:    u.buildTime,
 					analysisTime: time.Since(t1),
-				}
+				})
 			}
 			workerStats[w] = checker.Stats()
 		}(w)
@@ -204,6 +347,13 @@ func (s *Sweeper) Run(pkgs []Package) (*SweepResult, error) {
 	go func() {
 		defer close(jobCh)
 		for _, j := range jobs {
+			if window != nil {
+				select {
+				case window <- struct{}{}:
+				case <-stop:
+					return
+				}
+			}
 			select {
 			case jobCh <- j:
 			case <-stop:
@@ -215,47 +365,56 @@ func (s *Sweeper) Run(pkgs []Package) (*SweepResult, error) {
 	buildWG.Wait()
 	close(builtCh)
 	checkWG.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return s.merge(pkgs, results, workerStats), nil
+	return workerStats, firstErr
 }
 
-// merge reduces per-file results and per-worker stats into one
-// SweepResult, in archive order, so the output is independent of how
-// the pipeline interleaved the work.
-func (s *Sweeper) merge(pkgs []Package, results []fileResult, workerStats []core.Stats) *SweepResult {
-	res := &SweepResult{
-		Packages:        len(pkgs),
-		ReportsByAlgo:   map[core.Algo]int{},
-		ReportsByKind:   map[core.UBKind]int{},
-		MinSetHistogram: map[int]int{},
+// accumulator folds per-file results, delivered in archive order, into
+// a SweepResult. Sharing it between the streaming and buffered paths is
+// what makes their outputs byte-identical.
+type accumulator struct {
+	res           *SweepResult
+	pkgHadReports []bool
+}
+
+func newAccumulator(pkgs []Package) *accumulator {
+	return &accumulator{
+		res: &SweepResult{
+			Packages:        len(pkgs),
+			ReportsByAlgo:   map[core.Algo]int{},
+			ReportsByKind:   map[core.UBKind]int{},
+			MinSetHistogram: map[int]int{},
+		},
+		pkgHadReports: make([]bool, len(pkgs)),
 	}
-	pkgHadReports := make([]bool, len(pkgs))
-	for i := range results {
-		fr := &results[i]
-		res.Files++
-		res.Functions += fr.funcs
-		res.BuildTime += fr.buildTime
-		res.AnalysisTime += fr.analysisTime
-		res.Reports += len(fr.reports)
-		if len(fr.reports) > 0 {
-			pkgHadReports[fr.pkgIdx] = true
-		}
-		for a, n := range core.CountByAlgo(fr.reports) {
-			res.ReportsByAlgo[a] += n
-		}
-		for k, n := range core.CountByUBKind(fr.reports) {
-			res.ReportsByKind[k] += n
-		}
-		for sz, n := range core.MinSetSizeHistogram(fr.reports) {
-			res.MinSetHistogram[sz] += n
-		}
-		for _, r := range fr.reports {
-			res.ReportLog = append(res.ReportLog, FileReport{File: fr.name, Report: r})
-		}
+}
+
+func (a *accumulator) add(fr fileResult) {
+	res := a.res
+	res.Files++
+	res.Functions += fr.funcs
+	res.BuildTime += fr.buildTime
+	res.AnalysisTime += fr.analysisTime
+	res.Reports += len(fr.reports)
+	if len(fr.reports) > 0 {
+		a.pkgHadReports[fr.pkgIdx] = true
 	}
-	for _, had := range pkgHadReports {
+	for alg, n := range core.CountByAlgo(fr.reports) {
+		res.ReportsByAlgo[alg] += n
+	}
+	for k, n := range core.CountByUBKind(fr.reports) {
+		res.ReportsByKind[k] += n
+	}
+	for sz, n := range core.MinSetSizeHistogram(fr.reports) {
+		res.MinSetHistogram[sz] += n
+	}
+	for _, r := range fr.reports {
+		res.ReportLog = append(res.ReportLog, FileReport{File: fr.name, Report: r})
+	}
+}
+
+func (a *accumulator) finish(workerStats []core.Stats) *SweepResult {
+	res := a.res
+	for _, had := range a.pkgHadReports {
 		if had {
 			res.PackagesWithReports++
 		}
@@ -269,6 +428,9 @@ func (s *Sweeper) merge(pkgs []Package, results []fileResult, workerStats []core
 	res.RewriteHits = st.RewriteHits
 	res.TermsCreated = st.TermsCreated
 	res.FastPaths = st.FastPaths
+	res.TermsBlasted = st.TermsBlasted
+	res.BlastPasses = st.BlastPasses
+	res.LearntsReused = st.LearntsReused
 
 	sort.SliceStable(res.ReportLog, func(i, j int) bool {
 		a, b := res.ReportLog[i], res.ReportLog[j]
@@ -297,6 +459,8 @@ func (r *SweepResult) Format() string {
 	fmt.Fprintf(&b, "build time / analysis:   %v / %v\n", r.BuildTime.Round(time.Millisecond), r.AnalysisTime.Round(time.Millisecond))
 	fmt.Fprintf(&b, "solver queries:          %d (%d timeouts)\n", r.Queries, r.Timeouts)
 	fmt.Fprintf(&b, "rewrite hits / fast paths: %d / %d\n", r.RewriteHits, r.FastPaths)
+	fmt.Fprintf(&b, "terms blasted / blast passes: %d / %d (learnt reuse %d)\n",
+		r.TermsBlasted, r.BlastPasses, r.LearntsReused)
 	b.WriteString("\nreports by algorithm (Fig. 17):\n")
 	for a := core.AlgoElimination; a <= core.AlgoSimplifyAlgebra; a++ {
 		fmt.Fprintf(&b, "  %-34s %d\n", a.String(), r.ReportsByAlgo[a])

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -110,6 +111,185 @@ func TestSweepErrorPropagation(t *testing.T) {
 		} else if !strings.Contains(err.Error(), "bad_0.c") {
 			t.Errorf("workers=%d: error does not name the file: %v", workers, err)
 		}
+	}
+}
+
+// sweepCounts is the comparable aggregate of a SweepResult (everything
+// except the wall-clock timing fields).
+type sweepCounts struct {
+	Packages, PackagesWithReports, Files, Functions, Reports  int
+	Queries, Timeouts, RewriteHits, TermsCreated, FastPaths   int64
+	TermsBlasted, BlastPasses, LearntsReused                  int64
+	Elimination, SimplifyBool, SimplifyAlgebra, SingleMinSets int
+}
+
+func countsOf(r *SweepResult) sweepCounts {
+	return sweepCounts{
+		r.Packages, r.PackagesWithReports, r.Files, r.Functions, r.Reports,
+		r.Queries, r.Timeouts, r.RewriteHits, r.TermsCreated, r.FastPaths,
+		r.TermsBlasted, r.BlastPasses, r.LearntsReused,
+		r.ReportsByAlgo[core.AlgoElimination], r.ReportsByAlgo[core.AlgoSimplifyBool],
+		r.ReportsByAlgo[core.AlgoSimplifyAlgebra], r.MinSetHistogram[1],
+	}
+}
+
+// TestSweepByteIdenticalAcrossWorkersAndModes is the streaming sweep's
+// contract: every combination of Workers ∈ {1, 4, 16} and
+// buffered-vs-streaming merge produces identical aggregate counts and a
+// byte-identical sorted report log.
+func TestSweepByteIdenticalAcrossWorkersAndModes(t *testing.T) {
+	cfg := ArchiveConfig{
+		Packages: 16, FilesPerPackage: 2, FuncsPerFile: 5,
+		UnstableFraction: 0.5, Seed: 21,
+	}
+	pkgs := GenerateArchive(cfg)
+
+	var baseCounts *sweepCounts
+	var baseLog string
+	for _, workers := range []int{1, 4, 16} {
+		for _, buffered := range []bool{false, true} {
+			res, err := (&Sweeper{Options: sweepOpts(), Workers: workers, Buffered: buffered}).Run(pkgs)
+			if err != nil {
+				t.Fatalf("workers=%d buffered=%v: %v", workers, buffered, err)
+			}
+			c, log := countsOf(res), reportLogLines(res)
+			if baseCounts == nil {
+				if res.Reports == 0 {
+					t.Fatal("archive produced no reports; test is vacuous")
+				}
+				baseCounts, baseLog = &c, log
+				continue
+			}
+			if c != *baseCounts {
+				t.Errorf("workers=%d buffered=%v: counts diverge:\n got  %+v\n want %+v",
+					workers, buffered, c, *baseCounts)
+			}
+			if log != baseLog {
+				t.Errorf("workers=%d buffered=%v: report log diverges:\n--- got\n%s--- want\n%s",
+					workers, buffered, log, baseLog)
+			}
+		}
+	}
+}
+
+// TestSweepStreamingEmitsInOrder: RunStream must deliver every file
+// exactly once, in archive order, with the streamed per-file reports
+// adding up to the final result.
+func TestSweepStreamingEmitsInOrder(t *testing.T) {
+	cfg := ArchiveConfig{
+		Packages: 10, FilesPerPackage: 3, FuncsPerFile: 4,
+		UnstableFraction: 0.5, Seed: 7,
+	}
+	pkgs := GenerateArchive(cfg)
+	var streamed []FileResult
+	res, err := (&Sweeper{Options: sweepOpts(), Workers: 8}).RunStream(pkgs, func(fr FileResult) {
+		streamed = append(streamed, fr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != res.Files {
+		t.Fatalf("emitted %d files, result has %d", len(streamed), res.Files)
+	}
+	total := 0
+	for i, fr := range streamed {
+		if fr.Index != i {
+			t.Fatalf("emission %d carries index %d; want strict archive order", i, fr.Index)
+		}
+		if fr.File == "" || fr.Package == "" {
+			t.Errorf("emission %d missing file/package metadata: %+v", i, fr)
+		}
+		total += len(fr.Reports)
+	}
+	if total != res.Reports {
+		t.Errorf("streamed reports = %d, aggregate = %d", total, res.Reports)
+	}
+}
+
+// TestSweepErrorShutdownNoDeadlock: a failing file mid-archive must
+// shut the pipeline down promptly in both merge modes and at high
+// worker counts — no deadlock between feeder, builders, checkers, and
+// the emitter. Run under -race this doubles as the shutdown race test.
+func TestSweepErrorShutdownNoDeadlock(t *testing.T) {
+	var pkgs []Package
+	for i := 0; i < 30; i++ {
+		pkgs = append(pkgs, Package{
+			Name:  fmt.Sprintf("p%02d", i),
+			Files: []string{"int f(int x) { return x + 1; }\n"},
+		})
+	}
+	pkgs[17].Files = append(pkgs[17].Files, "int broken( {\n")
+
+	for _, buffered := range []bool{false, true} {
+		for _, workers := range []int{4, 16} {
+			done := make(chan error, 1)
+			go func() {
+				_, err := (&Sweeper{Options: sweepOpts(), Workers: workers, Buffered: buffered}).Run(pkgs)
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Errorf("buffered=%v workers=%d: sweep of invalid archive succeeded", buffered, workers)
+				} else if !strings.Contains(err.Error(), "p17_1.c") {
+					t.Errorf("buffered=%v workers=%d: error does not name the file: %v", buffered, workers, err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatalf("buffered=%v workers=%d: sweep deadlocked on error shutdown", buffered, workers)
+			}
+		}
+	}
+}
+
+// TestSweepIncrementalVsScratch is the checker-level differential
+// contract of the incremental solving subsystem: per-function sessions
+// that reuse one SAT core across a function's queries must produce
+// byte-identical reports, counts, and report log to scratch solving,
+// which rebuilds solver and encoding for every query.
+func TestSweepIncrementalVsScratch(t *testing.T) {
+	cfg := ArchiveConfig{
+		Packages: 16, FilesPerPackage: 2, FuncsPerFile: 5,
+		UnstableFraction: 0.7, Seed: 33,
+	}
+	pkgs := GenerateArchive(cfg)
+
+	inc, err := (&Sweeper{Options: sweepOpts(), Workers: 4}).Run(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchOpts := sweepOpts()
+	scratchOpts.ScratchSolve = true
+	scr, err := (&Sweeper{Options: scratchOpts, Workers: 4}).Run(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Reports == 0 {
+		t.Fatal("archive produced no reports; test is vacuous")
+	}
+
+	// Verdict-level outputs are identical; only effort differs.
+	ci, cs := countsOf(inc), countsOf(scr)
+	ci.TermsBlasted, ci.BlastPasses, ci.LearntsReused = 0, 0, 0
+	cs.TermsBlasted, cs.BlastPasses, cs.LearntsReused = 0, 0, 0
+	if ci != cs {
+		t.Errorf("counts diverge:\n incremental: %+v\n scratch:     %+v", ci, cs)
+	}
+	if il, sl := reportLogLines(inc), reportLogLines(scr); il != sl {
+		t.Errorf("report logs diverge:\n--- incremental\n%s--- scratch\n%s", il, sl)
+	}
+
+	// And the effort asymmetry that is the point of the subsystem:
+	// scratch re-blasts what the session amortizes.
+	if inc.TermsBlasted >= scr.TermsBlasted {
+		t.Errorf("incremental blasted %d terms, scratch %d; expected strictly fewer",
+			inc.TermsBlasted, scr.TermsBlasted)
+	}
+	if inc.BlastPasses >= scr.BlastPasses {
+		t.Errorf("incremental blast passes %d, scratch %d; expected strictly fewer",
+			inc.BlastPasses, scr.BlastPasses)
+	}
+	if scr.LearntsReused != 0 {
+		t.Errorf("scratch mode reused %d learned clauses; must be 0", scr.LearntsReused)
 	}
 }
 

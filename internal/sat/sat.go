@@ -123,6 +123,10 @@ type Solver struct {
 	Propagations int64
 	Conflicts    int64
 	Decisions    int64
+	// Solves counts SolveAssuming/Solve calls on this solver; together
+	// with NumLearnts it quantifies how much work an incremental caller
+	// amortizes across queries.
+	Solves int64
 	// Deadline, if nonzero, bounds a single Solve call.
 	Deadline time.Time
 	// MaxConflicts, if nonzero, bounds the number of conflicts per
@@ -155,6 +159,13 @@ func (s *Solver) NumVars() int { return s.nVars }
 
 // NumClauses returns the number of problem (non-learned) clauses.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of learned clauses currently retained.
+// Learned clauses survive across SolveAssuming calls, so a later query
+// on the same clause database starts from the conflicts of every
+// earlier one; this is the quantity incremental callers watch to see
+// that reuse is actually happening.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
 func (s *Solver) value(l Lit) lbool {
 	v := s.assign[l.Var()]
@@ -532,10 +543,27 @@ func quickMedian(xs []float64) float64 {
 }
 
 // Solve determines satisfiability of the clause database under the
-// given assumptions. On Sat, a model is available via ModelValue. On
-// Unsat under assumptions, FailedAssumptions returns a subset of the
-// assumptions sufficient for unsatisfiability.
+// given assumptions. It is SolveAssuming under its historical name;
+// both entry points share the incremental contract documented there.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	return s.SolveAssuming(assumptions...)
+}
+
+// SolveAssuming determines satisfiability of the clause database under
+// the given assumptions, the incremental-SAT interface in the style of
+// MiniSat's solve(assumps): assumptions are decided (not asserted)
+// before the search, so nothing about a query outlives the call except
+// what may be reused — the clause database, the learned clauses, and
+// the variable activities all carry over to the next call. Callers
+// implement retractable constraints with activation literals: add
+// clause (¬a ∨ C) once, then pass a to activate it per query.
+//
+// On Sat, a model is available via ModelValue. On Unsat under
+// assumptions, FailedAssumptions returns a subset of the assumptions
+// sufficient for unsatisfiability (the final conflict clause expressed
+// over the assumptions).
+func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
+	s.Solves++
 	if !s.ok {
 		s.conflCore = nil
 		return Unsat
@@ -759,8 +787,11 @@ func (s *Solver) finalFromAssumption(a Lit, assumptions []Lit) {
 
 // ModelValue returns the value of v in the most recent satisfying
 // assignment. It must only be called after Solve returned Sat.
+// Variables allocated after that assignment was found are not
+// constrained by it and report false (an arbitrary don't-care
+// completion).
 func (s *Solver) ModelValue(v Var) bool {
-	return s.model[v] == lTrue
+	return int(v) < len(s.model) && s.model[v] == lTrue
 }
 
 // FailedAssumptions returns, after Solve returned Unsat under

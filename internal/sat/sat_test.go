@@ -494,6 +494,91 @@ func TestHeapReinsertIdempotent(t *testing.T) {
 	}
 }
 
+// TestSolveAssumingActivationLiterals exercises the retractable-clause
+// idiom SolveAssuming exists for: constraint groups are guarded by
+// activation literals and toggled per query, with the clause database
+// built exactly once.
+func TestSolveAssumingActivationLiterals(t *testing.T) {
+	s := New()
+	x, y := s.NewVar(), s.NewVar()
+	actA, actB := s.NewVar(), s.NewVar()
+	// Group A: x ∧ y. Group B: ¬x.
+	s.AddClause(NewLit(actA, true), NewLit(x, false))
+	s.AddClause(NewLit(actA, true), NewLit(y, false))
+	s.AddClause(NewLit(actB, true), NewLit(x, true))
+	clauses := s.NumClauses()
+
+	if got := s.SolveAssuming(NewLit(actA, false)); got != Sat {
+		t.Fatalf("group A alone: %v, want sat", got)
+	}
+	if !s.ModelValue(x) || !s.ModelValue(y) {
+		t.Fatalf("group A model: x=%v y=%v", s.ModelValue(x), s.ModelValue(y))
+	}
+	if got := s.SolveAssuming(NewLit(actB, false)); got != Sat {
+		t.Fatalf("group B alone: %v, want sat", got)
+	}
+	if s.ModelValue(x) {
+		t.Fatal("group B model should force ¬x")
+	}
+	if got := s.SolveAssuming(NewLit(actA, false), NewLit(actB, false)); got != Unsat {
+		t.Fatalf("both groups: %v, want unsat", got)
+	}
+	fa := s.FailedAssumptions()
+	if len(fa) != 2 {
+		t.Fatalf("failed assumptions = %v, want both activation literals", fa)
+	}
+	// Retraction is free: the next query simply drops an assumption.
+	if got := s.SolveAssuming(NewLit(actA, false)); got != Sat {
+		t.Fatalf("after retracting B: %v, want sat", got)
+	}
+	if s.NumClauses() != clauses {
+		t.Fatalf("clause database changed across queries: %d -> %d", clauses, s.NumClauses())
+	}
+	if s.Solves != 4 {
+		t.Fatalf("Solves = %d, want 4", s.Solves)
+	}
+}
+
+// TestSolveAssumingRetainsLearnts: conflicts hit under one set of
+// assumptions must leave learned clauses behind for later queries —
+// the reuse the incremental bv session is built on.
+func TestSolveAssumingRetainsLearnts(t *testing.T) {
+	s := New()
+	act := s.NewVar()
+	x, y := s.NewVar(), s.NewVar()
+	// Under act: all four clauses over {x, y}, i.e. a contradiction that
+	// needs at least one decision and conflict analysis to refute.
+	for _, cl := range [][]Lit{
+		{NewLit(x, false), NewLit(y, false)},
+		{NewLit(x, false), NewLit(y, true)},
+		{NewLit(x, true), NewLit(y, false)},
+		{NewLit(x, true), NewLit(y, true)},
+	} {
+		s.AddClause(append([]Lit{NewLit(act, true)}, cl...)...)
+	}
+	if got := s.SolveAssuming(NewLit(act, false)); got != Unsat {
+		t.Fatalf("activated contradiction: %v, want unsat", got)
+	}
+	if fa := s.FailedAssumptions(); len(fa) != 1 || fa[0] != NewLit(act, false) {
+		t.Fatalf("failed assumptions = %v, want [act]", fa)
+	}
+	learnts := s.NumLearnts()
+	if learnts == 0 {
+		t.Fatal("refutation produced no learned clauses")
+	}
+	// The learned clauses survive into the next query and the solver
+	// remains complete on the relaxed problem.
+	if got := s.SolveAssuming(); got != Sat {
+		t.Fatalf("deactivated: %v, want sat", got)
+	}
+	if s.ModelValue(act) {
+		t.Fatal("model should deactivate the contradictory group")
+	}
+	if s.NumLearnts() < learnts {
+		t.Fatalf("learned clauses dropped across queries: %d -> %d", learnts, s.NumLearnts())
+	}
+}
+
 func BenchmarkSolvePigeonhole6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := New()
