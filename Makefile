@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench-smoke bench fuzz-smoke cover race-cover ci
+.PHONY: all build vet staticcheck test race stackd-race bench-smoke bench fuzz-smoke cover race-cover ci
 
 all: build
 
@@ -13,11 +13,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. Skipped with a notice when the binary is
+# absent (the dev container has no network); CI installs it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# The public API and the stackd service layer under the race detector:
+# a fast targeted loop for local service work (subsumed by
+# `race`/`race-cover`, so `ci` does not repeat it).
+stackd-race:
+	$(GO) test -race ./stack/... ./cmd/stackd/...
 
 # Short smoke run of the Figure 16 Kerberos profile plus the parallel
 # sweep and incremental-vs-scratch benchmarks (speedup-vs-serial,
@@ -49,4 +64,4 @@ race-cover:
 	$(GO) test -race -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: vet build race-cover bench-smoke fuzz-smoke
+ci: vet staticcheck build race-cover bench-smoke fuzz-smoke

@@ -6,6 +6,7 @@ package repro
 // paper's numbers. EXPERIMENTS.md maps each benchmark to its figure.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -39,7 +40,11 @@ func mustCheck(b *testing.B, checker *core.Checker, name, src string) []*core.Re
 	if err != nil {
 		b.Fatal(err)
 	}
-	return checker.CheckProgram(p)
+	reports, err := checker.CheckProgram(context.Background(), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reports
 }
 
 // BenchmarkFig1PointerOverflowCheck: the paper's opening example —
@@ -147,7 +152,7 @@ func BenchmarkFig9BugCorpus(b *testing.B) {
 func sweepOnce(b *testing.B, cfg corpus.ArchiveConfig) *corpus.SweepResult {
 	b.Helper()
 	pkgs := corpus.GenerateArchive(cfg)
-	res, err := corpus.Sweep(pkgs, checkerOpts())
+	res, err := corpus.Sweep(context.Background(), pkgs, checkerOpts())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -200,7 +205,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 	var serial time.Duration
 	for i := 0; i < 2; i++ {
 		t0 := time.Now()
-		if _, err := (&corpus.Sweeper{Options: opts, Workers: 1}).Run(pkgs); err != nil {
+		if _, err := (&corpus.Sweeper{Options: opts, Workers: 1}).Run(context.Background(), pkgs); err != nil {
 			b.Fatal(err)
 		}
 		if d := time.Since(t0); i == 0 || d < serial {
@@ -213,7 +218,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 	var res *corpus.SweepResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := sweeper.Run(pkgs)
+		r, err := sweeper.Run(context.Background(), pkgs)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,46 +1,55 @@
 // Command debian runs the synthetic-archive sweep that reproduces the
-// paper's §6.4–6.5 evaluation: per-package build/analysis times and
+// paper's §6.4–6.5 evaluation — per-package build/analysis times and
 // query counts (Fig. 16), reports per algorithm (Fig. 17), reports per
-// UB condition (Fig. 18), and the minimal-UB-set size histogram.
+// UB condition (Fig. 18), and the minimal-UB-set size histogram — as a
+// thin client of the public stack API.
 //
 // Usage:
 //
-//	debian [-packages N] [-files N] [-funcs N] [-seed N] [-j N] [-perf]
-//	       [-stream] [-buffered]
+//	debian [-packages N] [-files N] [-funcs N] [-seed N] [-j N]
+//	       [-timeout D] [-max-conflicts N] [-perf]
+//	       [-stream] [-format text|jsonl|sarif] [-buffered]
 //
 // With -perf it instead runs the three Figure 16 package profiles
 // (Kerberos-, Postgres-, and Linux-sized) and prints the table rows.
 // -j sets the sweep worker count (default: one per CPU). All counts
 // and reports in the output are identical for any value, as long as no
-// query hits the 5-second timeout (see corpus.Sweeper); only the
-// build/analysis timing line varies, being a measured duration.
+// query hits the -timeout deadline (default 5s, as in the paper; see
+// corpus.Sweeper); only the build/analysis timing line varies, being a
+// measured duration. -max-conflicts optionally bounds per-query solver
+// effort deterministically instead.
 //
-// -stream prints each file's reports the moment the file (and every
-// file before it) finishes checking, instead of only the final summary
-// — on a big archive results appear immediately. -buffered selects the
-// legacy collect-then-merge strategy; the summary is byte-identical
-// either way. The two flags are mutually exclusive (-stream is
-// streaming by definition).
+// -stream renders each file's results through a sink the moment the
+// file (and every file before it) finishes checking — on a big archive
+// results appear immediately. -format selects the sink: text (the
+// classic per-file report stream, then the summary block), jsonl (one
+// JSON object per file), or sarif (a SARIF 2.1.0 log on completion);
+// the non-text formats keep stdout machine-consumable and print no
+// summary. -buffered selects the legacy collect-then-merge strategy;
+// the summary is byte-identical either way. -stream and -buffered are
+// mutually exclusive (-stream is streaming by definition).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/stack"
 )
 
 func main() {
+	common := stack.BindCommonFlags(flag.CommandLine)
 	packages := flag.Int("packages", corpus.DefaultArchive.Packages, "number of packages")
 	files := flag.Int("files", corpus.DefaultArchive.FilesPerPackage, "files per package")
 	funcs := flag.Int("funcs", corpus.DefaultArchive.FuncsPerFile, "functions per file")
 	seed := flag.Int64("seed", corpus.DefaultArchive.Seed, "generator seed")
 	perf := flag.Bool("perf", false, "run the Figure 16 performance profiles")
-	jobs := flag.Int("j", 0, "sweep workers (0 = one per CPU)")
-	stream := flag.Bool("stream", false, "print per-file reports as they are produced")
+	stream := flag.Bool("stream", false, "render per-file results through a sink as they are produced")
+	format := flag.String("format", "text", "streaming sink format: text, jsonl, or sarif")
 	buffered := flag.Bool("buffered", false, "use the legacy buffered merge instead of streaming")
 	flag.Parse()
 	if *stream && *buffered {
@@ -52,12 +61,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := core.Options{
-		Timeout:       5 * time.Second,
-		FilterOrigins: true,
-		MinUBSets:     true,
-		Inline:        true,
-	}
+	az := stack.New(append(common.Options(), stack.WithBufferedSweep(*buffered))...)
+	ctx := context.Background()
 
 	if *perf {
 		// Three scaled package profiles standing in for Kerberos (705
@@ -72,10 +77,8 @@ func main() {
 		}
 		fmt.Printf("%-16s %12s %14s %8s %10s %10s\n",
 			"package", "build time", "analysis time", "files", "queries", "timeouts")
-		sweeper := &corpus.Sweeper{Options: opts, Workers: *jobs, Buffered: *buffered}
 		for _, p := range profiles {
-			pkgs := corpus.GenerateArchive(p.cfg)
-			res, err := sweeper.Run(pkgs)
+			res, err := az.Sweep(ctx, archivePackages(p.cfg), nil)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "debian: %v\n", err)
 				os.Exit(1)
@@ -88,36 +91,53 @@ func main() {
 		return
 	}
 
-	cfg := corpus.ArchiveConfig{
+	pkgs := archivePackages(corpus.ArchiveConfig{
 		Packages:         *packages,
 		FilesPerPackage:  *files,
 		FuncsPerFile:     *funcs,
 		UnstableFraction: corpus.DefaultArchive.UnstableFraction,
 		Seed:             *seed,
-	}
-	pkgs := corpus.GenerateArchive(cfg)
-	sweeper := &corpus.Sweeper{Options: opts, Workers: *jobs, Buffered: *buffered}
-	var res *corpus.SweepResult
-	var err error
+	})
+
+	var sink stack.Sink
 	if *stream {
-		res, err = sweeper.RunStream(pkgs, func(fr corpus.FileResult) {
-			if len(fr.Reports) == 0 {
-				return
-			}
-			fmt.Printf("%s: %d report(s)\n", fr.File, len(fr.Reports))
-			for _, r := range fr.Reports {
-				fmt.Printf("  %v\n", r)
-			}
-		})
-	} else {
-		res, err = sweeper.Run(pkgs)
+		switch *format {
+		case "text":
+			sink = stack.NewTextSink(os.Stdout)
+		case "jsonl":
+			sink = stack.NewJSONLSink(os.Stdout)
+		case "sarif":
+			sink = stack.NewSARIFSink(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "debian: unknown -format %q (want text, jsonl, or sarif)\n", *format)
+			os.Exit(2)
+		}
+	} else if *format != "text" {
+		fmt.Fprintln(os.Stderr, "debian: -format requires -stream")
+		os.Exit(2)
 	}
+
+	res, err := az.Sweep(ctx, pkgs, sink)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "debian: %v\n", err)
 		os.Exit(1)
+	}
+	if *stream && *format != "text" {
+		return // keep stdout machine-consumable; no summary block
 	}
 	if *stream {
 		fmt.Println()
 	}
 	fmt.Print(res.Format())
+}
+
+// archivePackages generates the synthetic archive and converts it to
+// the public API's package form.
+func archivePackages(cfg corpus.ArchiveConfig) []stack.Package {
+	pkgs := corpus.GenerateArchive(cfg)
+	out := make([]stack.Package, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = stack.Package{Name: p.Name, Files: p.Files}
+	}
+	return out
 }

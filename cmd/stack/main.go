@@ -1,7 +1,8 @@
 // Command stack is the checker driver: the analogue of the paper's
-// stack-build workflow (§4.1). It parses C files, builds IR, runs the
-// solver-based unstable-code analysis, and prints bug reports with
-// minimal UB-condition sets and a §6.2 classification.
+// stack-build workflow (§4.1), rebuilt as a thin client of the public
+// stack API. It parses C files, runs the solver-based unstable-code
+// analysis, and prints bug reports with minimal UB-condition sets and
+// a §6.2 classification.
 //
 // Usage:
 //
@@ -11,6 +12,7 @@
 // Flags:
 //
 //	-timeout duration   per-query solver timeout (default 5s, as in the paper)
+//	-max-conflicts N    per-query solver conflict budget (0 = unbounded)
 //	-no-filter          keep reports for macro/inline-generated code
 //	-no-minsets         skip minimal UB-set computation (Fig. 8)
 //	-no-inline          skip function inlining
@@ -22,24 +24,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	"repro/internal/cc"
-	"repro/internal/compilers"
-	"repro/internal/core"
 	"repro/internal/corpus"
-	"repro/internal/ir"
+	"repro/stack"
 )
 
 func main() {
-	timeout := flag.Duration("timeout", 5*time.Second, "per-query solver timeout")
-	jobs := flag.Int("j", 0, "concurrent checking workers (0 = one per CPU)")
+	common := stack.BindCommonFlags(flag.CommandLine)
 	noFilter := flag.Bool("no-filter", false, "keep reports for macro/inline-generated code")
 	noMinsets := flag.Bool("no-minsets", false, "skip minimal UB-set computation")
 	noInline := flag.Bool("no-inline", false, "skip function inlining")
@@ -51,47 +46,30 @@ func main() {
 	fnoNull := flag.Bool("fno-delete-null-pointer-checks", false, "assume -fno-delete-null-pointer-checks (§7)")
 	flag.Parse()
 
-	opts := core.Options{
-		Timeout:       *timeout,
-		FilterOrigins: !*noFilter,
-		MinUBSets:     !*noMinsets,
-		Inline:        !*noInline,
-		Flags: core.Flags{
+	az := stack.New(append(common.Options(),
+		stack.WithOriginFilter(!*noFilter),
+		stack.WithMinUBSets(!*noMinsets),
+		stack.WithInlining(!*noInline),
+		stack.WithCompilerEnv(stack.CompilerEnv{
 			WrapV:                     *fwrapv,
 			NoStrictOverflow:          *fnoStrict,
 			NoDeleteNullPointerChecks: *fnoNull,
-		},
-	}
-	exit := 0
+		}),
+	)...)
 
-	emit := func(reports []*core.Report) {
-		for _, r := range reports {
-			fmt.Println(r)
-			if *classify {
-				fmt.Printf("  category: %s\n", core.Classify(r, compilers.AnyModelDiscards))
-			}
-		}
-		if len(reports) > 0 {
-			exit = 1
-		}
-	}
-
-	// Gather every input up front, then check them concurrently (-j)
-	// with one checker per worker; results print in input order.
+	// Gather every input up front; the API checks them concurrently
+	// (-j) and streams results back in input order.
 	type unit struct {
 		name    string // display name (system or path)
-		file    string // parse name
-		src     string
 		corpus  bool
 		planted int
 	}
 	var units []unit
+	var srcs []stack.Source
 	if *runCorpus {
 		for _, ss := range corpus.GenerateFig9() {
-			units = append(units, unit{
-				name: ss.System, file: ss.System + ".c", src: ss.Source,
-				corpus: true, planted: len(ss.Bugs),
-			})
+			units = append(units, unit{name: ss.System, corpus: true, planted: len(ss.Bugs)})
+			srcs = append(srcs, stack.Source{Name: ss.System + ".c", Text: ss.Source})
 		}
 	}
 	for _, path := range flag.Args() {
@@ -100,124 +78,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stack: %v\n", err)
 			os.Exit(2)
 		}
-		units = append(units, unit{name: path, file: path, src: string(src)})
+		units = append(units, unit{name: path})
+		srcs = append(srcs, stack.Source{Name: path, Text: string(src)})
 	}
 	if len(units) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: stack [flags] file.c... (or -corpus); see -h")
 		os.Exit(2)
 	}
 
-	workers := *jobs
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(units) {
-		workers = len(units)
-	}
-	// Check inputs concurrently and stream each unit's output the
-	// moment it and every earlier unit are done: outcomes arrive in
-	// completion order on outCh and are re-sequenced into input order
-	// by the pending map, so nothing buffers for the whole run and the
-	// output is identical for any -j. The window semaphore (acquired by
-	// the feeder, released as units print) caps how far workers may run
-	// ahead of a slow early unit, bounding pending at O(workers).
-	type outcome struct {
-		idx     int
-		reports []*core.Report
-		err     error
-	}
-	workerStats := make([]core.Stats, workers)
-	idxCh := make(chan int)
-	outCh := make(chan outcome, workers)
-	window := make(chan struct{}, 4*workers)
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			checker := core.New(opts)
-			for i := range idxCh {
-				// Fail fast: once any input has errored, skip the
-				// remaining work. Units are dequeued in input order, so
-				// skipped units always come after the earliest error —
-				// the emitter exits before reaching them.
-				if failed.Load() {
-					outCh <- outcome{idx: i}
-					continue
-				}
-				reports, err := checkSource(checker, units[i].file, units[i].src)
-				if err != nil {
-					failed.Store(true)
-				}
-				outCh <- outcome{idx: i, reports: reports, err: err}
-			}
-			workerStats[w] = checker.Stats()
-		}(w)
-	}
-	go func() {
-		for i := range units {
-			window <- struct{}{}
-			idxCh <- i
-		}
-		close(idxCh)
-		wg.Wait()
-		close(outCh)
-	}()
-
+	exit := 0
 	total := 0
-	next := 0
-	pending := map[int]outcome{}
-	for o := range outCh {
-		pending[o.idx] = o
-		for {
-			cur, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			u := units[next]
-			if cur.err != nil {
-				fmt.Fprintf(os.Stderr, "stack: %s: %v\n", u.name, cur.err)
-				os.Exit(2)
-			}
-			if u.corpus {
-				fmt.Printf("=== %s: %d report(s), %d planted bug(s)\n", u.name, len(cur.reports), u.planted)
-				total += len(cur.reports)
-			} else if len(cur.reports) == 0 {
-				fmt.Printf("%s: no unstable code found\n", u.name)
-			}
-			emit(cur.reports)
-			next++
-			<-window
+	st, err := az.CheckSources(context.Background(), srcs, func(fr stack.FileResult) {
+		u := units[fr.Index]
+		if u.corpus {
+			fmt.Printf("=== %s: %d report(s), %d planted bug(s)\n", u.name, len(fr.Diagnostics), u.planted)
+			total += len(fr.Diagnostics)
+		} else if len(fr.Diagnostics) == 0 {
+			fmt.Printf("%s: no unstable code found\n", u.name)
 		}
+		for _, d := range fr.Diagnostics {
+			fmt.Println(d)
+			if *classify {
+				fmt.Printf("  category: %s\n", d.Category)
+			}
+		}
+		if len(fr.Diagnostics) > 0 {
+			exit = 1
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stack: %v\n", err)
+		os.Exit(2)
 	}
 	if *runCorpus {
 		fmt.Printf("total: %d report(s)\n", total)
 	}
 
 	if *stats {
-		var st core.Stats
-		for _, ws := range workerStats {
-			st.Add(ws)
-		}
 		fmt.Printf("functions analyzed: %d\nblocks: %d\nsolver queries: %d\nquery timeouts: %d\nrewrite hits: %d\nsolver fast paths: %d\n",
 			st.Functions, st.Blocks, st.Queries, st.Timeouts, st.RewriteHits, st.FastPaths)
 	}
 	os.Exit(exit)
-}
-
-func checkSource(checker *core.Checker, name, src string) ([]*core.Report, error) {
-	f, err := cc.Parse(name, src)
-	if err != nil {
-		return nil, err
-	}
-	if err := cc.Check(f); err != nil {
-		return nil, err
-	}
-	p, err := ir.Build(f)
-	if err != nil {
-		return nil, err
-	}
-	return checker.CheckProgram(p), nil
 }

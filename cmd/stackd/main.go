@@ -1,0 +1,88 @@
+// Command stackd serves the STACK checker over HTTP: the service shape
+// of the paper's §6.4 archive evaluation, with per-request contexts,
+// bounded concurrency, and graceful shutdown.
+//
+// Usage:
+//
+//	stackd [-addr :8591] [-timeout 5s] [-max-conflicts N] [-j N]
+//	       [-max-concurrent N] [-request-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/analyze  {"name": "file.c", "source": "..."} → diagnostics JSON
+//	GET  /healthz     liveness probe
+//
+// The shared solver flags (-timeout, -max-conflicts, -j) mean the same
+// thing as in the stack and debian CLIs. -request-timeout caps one
+// whole request; a request over budget answers 504 after aborting its
+// solver queries mid-search. SIGINT/SIGTERM drain in-flight requests
+// before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/stack"
+	"repro/stack/service"
+)
+
+func main() {
+	common := stack.BindCommonFlags(flag.CommandLine)
+	addr := flag.String("addr", ":8591", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent analyses (0 = one per CPU)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "whole-request analysis budget (0 = none)")
+	flag.Parse()
+
+	az := stack.New(common.Options()...)
+	srv := service.New(az, service.Options{
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *requestTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "stackd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "stackd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting and let in-flight analyses finish.
+	// The grace period must cover the longest request the service
+	// itself allows, plus margin; with no request timeout configured,
+	// fall back to a fixed window.
+	stop()
+	grace := 30 * time.Second
+	if *requestTimeout > 0 {
+		grace = *requestTimeout + 5*time.Second
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "stackd: shutdown grace (%v) elapsed; aborted in-flight requests\n", grace)
+		} else {
+			fmt.Fprintf(os.Stderr, "stackd: shutdown: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}

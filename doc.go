@@ -7,6 +7,43 @@
 // with a bit-vector layer standing in for Boolector, a UB-exploiting
 // optimizer, and models of the 16 compilers surveyed in the paper.
 //
+// # Public API
+//
+// The supported entry point is the top-level stack package
+// (repro/stack): a context-aware Analyzer built with functional
+// options that returns structured Diagnostic values with stable,
+// append-only rule codes (STACK-E001, ...), UB-condition codes
+// (UB001, ...), and source spans:
+//
+//	az := stack.New(
+//		stack.WithSolverTimeout(5*time.Second),
+//		stack.WithWorkers(8),
+//	)
+//	res, err := az.CheckSource(ctx, "file.c", src)
+//	for _, d := range res.Diagnostics {
+//		fmt.Println(d.Code, d.Span, d.Category)
+//	}
+//
+// (See the runnable example in package stack for the full flow.)
+// Every entry point — CheckSource, CheckFile, CheckSources, Sweep —
+// honors its context all the way down to the CDCL search loop:
+// cancelling it aborts any query mid-search within one solver check
+// interval. Batch and archive runs stream per-file results in input
+// order through pluggable sinks (stack.NewTextSink, NewJSONLSink,
+// NewSARIFSink); the text sink's output is byte-identical to the
+// classic CLI stream.
+//
+// # Commands
+//
+//   - cmd/stack: the file checker CLI (the paper's stack-build
+//     workflow, §4.1), a thin client of the stack package;
+//   - cmd/debian: the §6.4–6.5 synthetic-archive sweep, with
+//     streaming text/JSONL/SARIF output;
+//   - cmd/stackd: the analysis service — POST /v1/analyze and
+//     /healthz over HTTP with per-request contexts, bounded
+//     concurrency, and graceful shutdown;
+//   - cmd/optsurvey: the §2–3 optimizer/compiler survey tables.
+//
 // The benchmarks in bench_test.go regenerate every table and figure
 // of the paper's evaluation; see EXPERIMENTS.md for the index.
 package repro

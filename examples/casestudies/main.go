@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -93,7 +94,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, r := range checker.CheckProgram(prog) {
+		reports, err := checker.CheckProgram(context.Background(), prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range reports {
 			fmt.Println(r)
 			fmt.Printf("  category: %s\n", core.Classify(r, compilers.AnyModelDiscards))
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -89,7 +90,10 @@ func main() {
 	}
 
 	checker := core.New(core.DefaultOptions)
-	reports := checker.CheckProgram(prog)
+	reports, err := checker.CheckProgram(context.Background(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("audit of ring.c: %d report(s)\n\n", len(reports))
 	for _, r := range reports {
 		fmt.Println(r)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,10 @@ func main() {
 	// 3. Run STACK with the paper's default configuration: 5-second
 	// query timeout, origin filtering, minimal UB sets.
 	checker := core.New(core.DefaultOptions)
-	reports := checker.CheckProgram(prog)
+	reports, err := checker.CheckProgram(context.Background(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Print(core.FormatReports(reports))
 	st := checker.Stats()

@@ -76,8 +76,11 @@ func (b *Builder) rewriteNeg(x *Term) *Term {
 	if x.op == OpNeg {
 		return b.hit(x.args[0]) // -(-x) = x
 	}
-	if x.op == OpSub {
-		return b.hit(b.Sub(x.args[1], x.args[0])) // -(a-b) = b-a
+	if x.op == OpAdd && x.args[1].op == OpNeg {
+		// -(a + (-b)) = b + (-a): keeps negated subtraction chains in
+		// the add-normal form the OpSub rule produces, instead of
+		// wrapping them in a fresh OpNeg node.
+		return b.hit(b.Add(x.args[1].args[0], b.Neg(x.args[0])))
 	}
 	return nil
 }
@@ -238,6 +241,11 @@ func (b *Builder) rewriteBinary(op Op, x, y *Term) *Term {
 			// OpAdd chain-folding rules above.
 			return b.hit(b.Add(x, b.Const(new(big.Int).Neg(y.val), x.width)))
 		}
+		// x - y = x + (-y), both operands non-const: every subtraction
+		// interns in add-normal form, so x - y and x + (-y) share one
+		// node, mixed add/sub chains funnel through the OpAdd folding
+		// rules, and the blaster sees one adder shape instead of two.
+		return b.hit(b.Add(x, b.Neg(y)))
 	case OpMul:
 		if cy {
 			if y.val.Sign() == 0 {

@@ -208,7 +208,10 @@ var ruleTests = []ruleTest{
 	{"neg-sub", func(b *Builder, x, y *Term) *Term { return b.Neg(b.Sub(x, y)) },
 		func(x, y *big.Int) *big.Int { return refBinary(OpSub, ruleWidth, y, x) },
 		func(b *Builder, x, y, got *Term) bool {
-			return got.op == OpSub && got.args[0] == y && got.args[1] == x
+			// Sub interns in add-normal form, so -(x - y) normalizes to
+			// y + (-x) through the neg-of-add-chain rule.
+			return got.op == OpAdd && got.args[0] == y &&
+				got.args[1].op == OpNeg && got.args[1].args[0] == x
 		}},
 
 	// Add/sub chain folding.
@@ -243,6 +246,32 @@ var ruleTests = []ruleTest{
 	{"zero-sub", func(b *Builder, x, y *Term) *Term { return b.Sub(b.ConstInt64(0, ruleWidth), x) },
 		func(x, y *big.Int) *big.Int { return refBinary(OpSub, ruleWidth, big.NewInt(0), x) },
 		func(b *Builder, x, y, got *Term) bool { return got.op == OpNeg && got.args[0] == x }},
+	{"sub-nonconst", func(b *Builder, x, y *Term) *Term { return b.Sub(x, y) },
+		func(x, y *big.Int) *big.Int { return refBinary(OpSub, ruleWidth, x, y) },
+		func(b *Builder, x, y, got *Term) bool {
+			// a - b normalizes to a + (-b) so subtraction shares the
+			// add-chain node space.
+			return got.op == OpAdd && got.args[0] == x &&
+				got.args[1].op == OpNeg && got.args[1].args[0] == y
+		}},
+	{"sub-nonconst-shares-add", func(b *Builder, x, y *Term) *Term {
+		sub := b.Sub(x, y)
+		if sub != b.Add(x, b.Neg(y)) {
+			// The two spellings must intern to the same node; returning
+			// a distinct term here would fail the shape check below.
+			return b.Const(big.NewInt(0), ruleWidth)
+		}
+		return sub
+	},
+		func(x, y *big.Int) *big.Int { return refBinary(OpSub, ruleWidth, x, y) },
+		func(b *Builder, x, y, got *Term) bool { return got.op == OpAdd }},
+	{"sub-neg-roundtrip", func(b *Builder, x, y *Term) *Term { return b.Sub(x, b.Neg(y)) },
+		func(x, y *big.Int) *big.Int {
+			return refBinary(OpAdd, ruleWidth, x, y) // x - (-y) = x + y
+		},
+		func(b *Builder, x, y, got *Term) bool {
+			return got.op == OpAdd && got.args[0] == x && got.args[1] == y
+		}},
 
 	// Multiplicative / shift identities.
 	{"mul-zero", func(b *Builder, x, y *Term) *Term { return b.Mul(x, b.ConstInt64(0, ruleWidth)) },

@@ -18,6 +18,7 @@ package bv
 // both modes — only the work differs — and tests assert as much.
 
 import (
+	"context"
 	"math/big"
 	"time"
 )
@@ -104,9 +105,18 @@ func (s *Session) account(sv *Solver, blastsBefore int64, fastBefore, timeoutsBe
 // reusing the session's encoding and learned clauses (or from scratch
 // when Scratch is set). Assumptions are not retained across calls.
 func (s *Session) Solve(assumptions ...*Term) Result {
+	return s.SolveContext(context.Background(), assumptions...)
+}
+
+// SolveContext is Solve under a caller-supplied context: once ctx is
+// cancelled or past its deadline the query returns Unknown within one
+// solver check interval, and every later query on the session
+// short-circuits before blasting. The checker threads its per-request
+// context through here, down to the CDCL search loop.
+func (s *Session) SolveContext(ctx context.Context, assumptions ...*Term) Result {
 	sv := s.solverForQuery()
 	blasts, fast, timeouts, learnts := sv.Blasts(), sv.FastPaths, sv.Timeouts, sv.LearnedClauses()
-	res := sv.Solve(assumptions...)
+	res := sv.SolveContext(ctx, assumptions...)
 	s.account(sv, blasts, fast, timeouts, learnts)
 	return res
 }
@@ -114,9 +124,15 @@ func (s *Session) Solve(assumptions ...*Term) Result {
 // SolveCore is Solve plus, on Unsat, the subset of assumption indices
 // sufficient for the conflict, as on Solver.SolveCore.
 func (s *Session) SolveCore(assumptions ...*Term) (Result, []int) {
+	return s.SolveCoreContext(context.Background(), assumptions...)
+}
+
+// SolveCoreContext is SolveCore under a caller-supplied context, with
+// the cancellation contract of SolveContext.
+func (s *Session) SolveCoreContext(ctx context.Context, assumptions ...*Term) (Result, []int) {
 	sv := s.solverForQuery()
 	blasts, fast, timeouts, learnts := sv.Blasts(), sv.FastPaths, sv.Timeouts, sv.LearnedClauses()
-	res, core := sv.SolveCore(assumptions...)
+	res, core := sv.SolveCoreContext(ctx, assumptions...)
 	s.account(sv, blasts, fast, timeouts, learnts)
 	return res, core
 }

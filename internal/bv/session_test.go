@@ -1,7 +1,9 @@
 package bv
 
 import (
+	"context"
 	"testing"
+	"time"
 )
 
 // TestSessionIncrementalAmortizesBlasting: a query sequence over one
@@ -87,6 +89,101 @@ func TestSessionUnsatCoreMatchesScratch(t *testing.T) {
 		if v := s.Value(x); v.Int64() >= 4 {
 			t.Errorf("scratch=%v: model x=%v violates x<4", scratch, v)
 		}
+	}
+}
+
+// hardQuery builds a query far beyond the solver's reach: 16-bit
+// multiplication commutativity, the classic CDCL-hostile instance. Its
+// only fast exit is an interrupt.
+func hardQuery(bld *Builder) *Term {
+	x := bld.Var("x", 16)
+	y := bld.Var("y", 16)
+	return bld.Ne(bld.Mul(x, y), bld.Mul(y, x))
+}
+
+// TestSessionContextCancellation: a long query under a context that is
+// cancelled mid-search returns Unknown promptly — within one solver
+// check interval, not after the search would have finished — and every
+// later query on the cancelled context short-circuits.
+func TestSessionContextCancellation(t *testing.T) {
+	bld := NewBuilder()
+	q := hardQuery(bld)
+	s := NewSession(bld)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan Result, 1)
+	go func() { done <- s.SolveContext(ctx, q) }()
+	select {
+	case res := <-done:
+		if res != Unknown {
+			t.Fatalf("cancelled long query returned %v, want unknown", res)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("cancelled query did not return within 15s")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("test bug: context not cancelled")
+	}
+	if s.Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1 (cancellation counts as an Unknown verdict)", s.Timeouts)
+	}
+
+	// Follow-up queries on the dead context return immediately,
+	// without blasting: this is what lets a cancelled checker drain
+	// its remaining candidates in microseconds.
+	start := time.Now()
+	if res := s.SolveContext(ctx, bld.Eq(bld.Var("z", 8), bld.ConstInt64(1, 8))); res != Unknown {
+		t.Errorf("query on cancelled context returned %v, want unknown", res)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("query on cancelled context took %v; must short-circuit", d)
+	}
+}
+
+// TestSessionContextDeadline: a context deadline bounds a query the
+// same way the legacy wall-clock timeout did.
+func TestSessionContextDeadline(t *testing.T) {
+	bld := NewBuilder()
+	q := hardQuery(bld)
+	s := NewSession(bld)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	done := make(chan Result, 1)
+	go func() { done <- s.SolveContext(ctx, q) }()
+	select {
+	case res := <-done:
+		if res != Unknown {
+			t.Fatalf("deadline-bounded long query returned %v, want unknown", res)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("deadline-bounded query did not return within 15s")
+	}
+}
+
+// TestSessionTimeoutField: the per-query Timeout knob still works,
+// now implemented as a derived context deadline.
+func TestSessionTimeoutField(t *testing.T) {
+	bld := NewBuilder()
+	q := hardQuery(bld)
+	s := NewSession(bld)
+	s.Timeout = 100 * time.Millisecond
+	done := make(chan Result, 1)
+	go func() { done <- s.Solve(q) }()
+	select {
+	case res := <-done:
+		if res != Unknown {
+			t.Fatalf("timed-out long query returned %v, want unknown", res)
+		}
+		if s.Timeouts != 1 {
+			t.Errorf("Timeouts = %d, want 1", s.Timeouts)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("timed-out query did not return within 15s")
 	}
 }
 

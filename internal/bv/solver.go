@@ -1,6 +1,7 @@
 package bv
 
 import (
+	"context"
 	"math/big"
 	"time"
 
@@ -111,19 +112,58 @@ func (s *Solver) constShortcut(assumptions []*Term) (Result, []int, bool) {
 	return Unknown, nil, false
 }
 
+// queryContext prepares the SAT core for one query under ctx: the
+// solver's per-query Timeout becomes a context deadline layered over
+// the caller's context, so cancellation and wall-clock budget flow
+// through one mechanism. The returned cancel func must be called when
+// the query finishes to release the deadline timer.
+func (s *Solver) queryContext(ctx context.Context) context.CancelFunc {
+	cancel := func() {}
+	if s.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+	}
+	s.sat.Ctx = ctx
+	s.sat.MaxConflicts = s.MaxConflicts
+	return cancel
+}
+
+// cancelled reports (and accounts for) a query aborted by its context
+// before reaching the SAT core.
+func (s *Solver) cancelled(ctx context.Context) bool {
+	if ctx != nil && ctx.Err() != nil {
+		s.Timeouts++
+		return true
+	}
+	return false
+}
+
 // Solve decides whether the permanent assertions plus all assumption
 // terms are jointly satisfiable. Assumptions are not retained across
-// calls.
+// calls. It is SolveContext without a cancellation context.
 //
 // Queries whose assumptions the rewrite engine reduced to constants are
 // answered directly, without bit-blasting or CDCL search. Such a Sat
 // verdict carries no model: the model accessors (Value, ValueBool)
 // panic unless the last verdict was a Sat produced by the SAT core.
 func (s *Solver) Solve(assumptions ...*Term) Result {
+	return s.SolveContext(context.Background(), assumptions...)
+}
+
+// SolveContext is Solve under a caller-supplied context: the query
+// returns Unknown promptly (within one solver check interval) once ctx
+// is cancelled or passes its deadline, and an already-cancelled context
+// short-circuits before any bit-blasting.
+func (s *Solver) SolveContext(ctx context.Context, assumptions ...*Term) Result {
 	s.Queries++
 	s.modelValid = false
 	if res, _, ok := s.constShortcut(assumptions); ok {
 		return res
+	}
+	if s.cancelled(ctx) {
+		return Unknown
 	}
 	lits := make([]sat.Lit, 0, len(assumptions))
 	for _, t := range assumptions {
@@ -132,12 +172,8 @@ func (s *Solver) Solve(assumptions ...*Term) Result {
 		}
 		lits = append(lits, s.litFor(t))
 	}
-	if s.Timeout > 0 {
-		s.sat.Deadline = time.Now().Add(s.Timeout)
-	} else {
-		s.sat.Deadline = time.Time{}
-	}
-	s.sat.MaxConflicts = s.MaxConflicts
+	cancel := s.queryContext(ctx)
+	defer cancel()
 	switch s.sat.Solve(lits...) {
 	case sat.Sat:
 		s.modelValid = true
@@ -193,21 +229,26 @@ func (s *Solver) ValueBool(t *Term) bool {
 // that were sufficient for the conflict (a non-minimal unsat core). It
 // is the primitive STACK's minimal-UB-set masking loop builds on.
 func (s *Solver) SolveCore(assumptions ...*Term) (Result, []int) {
+	return s.SolveCoreContext(context.Background(), assumptions...)
+}
+
+// SolveCoreContext is SolveCore under a caller-supplied context, with
+// the same cancellation contract as SolveContext.
+func (s *Solver) SolveCoreContext(ctx context.Context, assumptions ...*Term) (Result, []int) {
 	s.Queries++
 	s.modelValid = false
 	if res, core, ok := s.constShortcut(assumptions); ok {
 		return res, core
 	}
+	if s.cancelled(ctx) {
+		return Unknown, nil
+	}
 	lits := make([]sat.Lit, len(assumptions))
 	for i, t := range assumptions {
 		lits[i] = s.litFor(t)
 	}
-	if s.Timeout > 0 {
-		s.sat.Deadline = time.Now().Add(s.Timeout)
-	} else {
-		s.sat.Deadline = time.Time{}
-	}
-	s.sat.MaxConflicts = s.MaxConflicts
+	cancel := s.queryContext(ctx)
+	defer cancel()
 	switch s.sat.Solve(lits...) {
 	case sat.Sat:
 		s.modelValid = true

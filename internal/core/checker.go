@@ -1,6 +1,19 @@
+// Package core implements the STACK checker itself — the paper's
+// primary contribution. It inserts the undefined-behavior conditions
+// of Figure 3 into the IR, computes intra-function reachability
+// conditions, and runs the solver-based elimination and simplification
+// algorithms of §3.2 with the dominator-approximate queries of §4.4,
+// generating bug reports with minimal UB-condition sets (Fig. 8) and
+// origin-based suppression of compiler-generated code (§4.2).
+//
+// This package is internal; the supported entry point is the public
+// top-level stack package, which wraps the Checker behind a
+// context-aware Analyzer and converts reports into stable-coded
+// diagnostics.
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -162,14 +175,23 @@ func (c *Checker) Stats() Stats { return c.stats }
 func (c *Checker) ResetStats() { c.stats = Stats{} }
 
 // CheckProgram analyzes every function and returns all reports, in
-// deterministic order.
-func (c *Checker) CheckProgram(p *ir.Program) []*Report {
+// deterministic order. Cancelling ctx aborts the analysis within one
+// solver check interval; the partial results are discarded and ctx's
+// error is returned.
+func (c *Checker) CheckProgram(ctx context.Context, p *ir.Program) ([]*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c.opts.Inline {
 		ir.InlineProgram(p, ir.DefaultInlineOptions)
 	}
 	var out []*Report
 	for _, f := range p.Funcs {
-		out = append(out, c.CheckFunc(f)...)
+		reports, err := c.CheckFunc(ctx, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, reports...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -181,13 +203,16 @@ func (c *Checker) CheckProgram(p *ir.Program) []*Report {
 		}
 		return a.Algo < b.Algo
 	})
-	return out
+	return out, nil
 }
 
 // CheckFunc runs the three algorithms of §4.4 on one function:
 // elimination, then boolean-oracle simplification, then algebra-oracle
-// simplification.
-func (c *Checker) CheckFunc(f *ir.Func) []*Report {
+// simplification. Cancellation follows the CheckProgram contract.
+func (c *Checker) CheckFunc(ctx context.Context, f *ir.Func) ([]*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.stats.Functions++
 	c.stats.Blocks += len(f.Blocks)
 
@@ -206,7 +231,7 @@ func (c *Checker) CheckFunc(f *ir.Func) []*Report {
 	dom := ir.ComputeDom(f)
 
 	st := &funcState{
-		c: c, f: f, enc: enc, solver: solver, ubs: ubs, dom: dom,
+		c: c, ctx: ctx, f: f, enc: enc, solver: solver, ubs: ubs, dom: dom,
 		eliminated: map[*ir.Block]bool{},
 	}
 	for _, b := range f.Blocks {
@@ -235,11 +260,15 @@ func (c *Checker) CheckFunc(f *ir.Func) []*Report {
 	for _, r := range reports {
 		c.stats.ReportsByAlgo[r.Algo]++
 	}
-	return reports
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return reports, nil
 }
 
 type funcState struct {
 	c          *Checker
+	ctx        context.Context
 	f          *ir.Func
 	enc        *encoder
 	solver     *bv.Session
@@ -296,6 +325,9 @@ func (st *funcState) wellDefinedTerms(b *ir.Block, uptoTerm bool) ([]*bv.Term, [
 func (st *funcState) eliminate() []*Report {
 	var out []*Report
 	for _, b := range st.f.Blocks {
+		if st.ctx.Err() != nil {
+			return out // cancelled: partial results, discarded by CheckFunc
+		}
 		if b == st.f.Entry {
 			continue
 		}
@@ -309,7 +341,7 @@ func (st *funcState) eliminate() []*Report {
 		// reachability (common after word-level rewriting) needs no
 		// query at all.
 		if !r.IsConstBool(true) {
-			if res := st.solver.Solve(r); res == bv.Unsat {
+			if res := st.solver.SolveContext(st.ctx, r); res == bv.Unsat {
 				st.eliminated[b] = true
 				continue
 			} else if res == bv.Unknown {
@@ -322,7 +354,7 @@ func (st *funcState) eliminate() []*Report {
 			continue
 		}
 		assumptions := append([]*bv.Term{r}, negs...)
-		res, coreIdx := st.solver.SolveCore(assumptions...)
+		res, coreIdx := st.solver.SolveCoreContext(st.ctx, assumptions...)
 		if res != bv.Unsat {
 			continue
 		}
@@ -411,6 +443,9 @@ func (st *funcState) simplify() []*Report {
 	}
 	// Boolean oracle.
 	for _, s := range sites {
+		if st.ctx.Err() != nil {
+			return out
+		}
 		if rep := st.simplifyBool(s.blk, s.cond); rep != nil {
 			out = append(out, rep)
 		}
@@ -421,6 +456,9 @@ func (st *funcState) simplify() []*Report {
 		reported[r.cond] = true
 	}
 	for _, s := range sites {
+		if st.ctx.Err() != nil {
+			return out
+		}
 		if reported[s.cond] {
 			continue
 		}
@@ -483,7 +521,7 @@ func (st *funcState) simplifyBool(blk *ir.Block, cond *ir.Value) *Report {
 			return nil
 		}
 		if !(ne.IsConstBool(true) && r.IsConstBool(true)) {
-			if res := st.solver.Solve(ne, r); res != bv.Sat {
+			if res := st.solver.SolveContext(st.ctx, ne, r); res != bv.Sat {
 				return nil
 			}
 		}
@@ -491,7 +529,7 @@ func (st *funcState) simplifyBool(blk *ir.Block, cond *ir.Value) *Report {
 			continue
 		}
 		assumptions := append([]*bv.Term{ne, r}, negs...)
-		res, coreIdx := st.solver.SolveCore(assumptions...)
+		res, coreIdx := st.solver.SolveCoreContext(st.ctx, assumptions...)
 		if res == bv.Unsat {
 			rep := &Report{
 				Func:       st.f.Name,
@@ -543,7 +581,7 @@ func (st *funcState) simplifyAlgebra(blk *ir.Block, cond *ir.Value) *Report {
 	r := st.enc.reachability(blk)
 	// Phase 1, with the same constant short-circuit as simplifyBool.
 	if !(ne.IsConstBool(true) && r.IsConstBool(true)) {
-		if res := st.solver.Solve(ne, r); res != bv.Sat {
+		if res := st.solver.SolveContext(st.ctx, ne, r); res != bv.Sat {
 			return nil
 		}
 	}
@@ -552,7 +590,7 @@ func (st *funcState) simplifyAlgebra(blk *ir.Block, cond *ir.Value) *Report {
 		return nil
 	}
 	assumptions := append([]*bv.Term{ne, r}, negs...)
-	res, coreIdx := st.solver.SolveCore(assumptions...)
+	res, coreIdx := st.solver.SolveCoreContext(st.ctx, assumptions...)
 	if res != bv.Unsat {
 		return nil
 	}
@@ -689,7 +727,7 @@ func (st *funcState) minimalUBSet(h *bv.Term, negs []*bv.Term, conds []*UBCond, 
 				assumptions = append(assumptions, negs[j])
 			}
 		}
-		if st.solver.Solve(assumptions...) == bv.Sat {
+		if st.solver.SolveContext(st.ctx, assumptions...) == bv.Sat {
 			minimal = append(minimal, masked)
 		}
 	}

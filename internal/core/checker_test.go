@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -22,7 +23,11 @@ func analyze(t *testing.T, src string, opts Options) []*Report {
 		t.Fatalf("build: %v", err)
 	}
 	c := New(opts)
-	return c.CheckProgram(p)
+	reports, err := c.CheckProgram(context.Background(), p)
+	if err != nil {
+		t.Fatalf("CheckProgram: %v", err)
+	}
+	return reports
 }
 
 func testOpts() Options {
@@ -471,7 +476,10 @@ int f(int x) {
 		t.Fatal(err)
 	}
 	c := New(testOpts())
-	reports := c.CheckProgram(p)
+	reports, err := c.CheckProgram(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := c.Stats()
 	if st.Functions != 1 || st.Queries == 0 {
 		t.Errorf("stats: %+v", st)

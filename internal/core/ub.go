@@ -1,10 +1,3 @@
-// Package core implements the STACK checker itself — the paper's
-// primary contribution. It inserts the undefined-behavior conditions
-// of Figure 3 into the IR, computes intra-function reachability
-// conditions, and runs the solver-based elimination and simplification
-// algorithms of §3.2 with the dominator-approximate queries of §4.4,
-// generating bug reports with minimal UB-condition sets (Fig. 8) and
-// origin-based suppression of compiler-generated code (§4.2).
 package core
 
 import (

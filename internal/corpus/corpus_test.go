@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -26,7 +27,11 @@ func checkSource(t *testing.T, name, src string) []*core.Report {
 	c := core.New(core.Options{
 		Timeout: 10 * time.Second, FilterOrigins: true, MinUBSets: true, Inline: true,
 	})
-	return c.CheckProgram(p)
+	reports, err := c.CheckProgram(context.Background(), p)
+	if err != nil {
+		t.Fatalf("%s: CheckProgram: %v", name, err)
+	}
+	return reports
 }
 
 func TestFig9DistributionTotals(t *testing.T) {
@@ -187,7 +192,7 @@ func TestSweepSmall(t *testing.T) {
 		UnstableFraction: 0.405, Seed: 20130324,
 	}
 	pkgs := GenerateArchive(cfg)
-	res, err := Sweep(pkgs, core.Options{
+	res, err := Sweep(context.Background(), pkgs, core.Options{
 		Timeout: 10 * time.Second, FilterOrigins: true, MinUBSets: true, Inline: true,
 	})
 	if err != nil {

@@ -39,6 +39,7 @@ package corpus
 // configuration is stable too.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -122,8 +123,8 @@ type SweepResult struct {
 
 // Sweep runs the checker over every package with the default worker
 // count (one per CPU).
-func Sweep(pkgs []Package, opts core.Options) (*SweepResult, error) {
-	return (&Sweeper{Options: opts}).Run(pkgs)
+func Sweep(ctx context.Context, pkgs []Package, opts core.Options) (*SweepResult, error) {
+	return (&Sweeper{Options: opts}).Run(ctx, pkgs)
 }
 
 // fileJob is one archive file, numbered by archive position.
@@ -177,11 +178,14 @@ func (s *Sweeper) workerCount() int {
 // Run sweeps the archive through the parallel pipeline and returns the
 // merged result. The default implementation streams (see RunStream);
 // Buffered selects the legacy archive-sized collection slice.
-func (s *Sweeper) Run(pkgs []Package) (*SweepResult, error) {
+// Cancelling ctx shuts the pipeline down without deadlock — each
+// in-flight solver query returns within one check interval — and Run
+// returns ctx's error.
+func (s *Sweeper) Run(ctx context.Context, pkgs []Package) (*SweepResult, error) {
 	if s.Buffered {
-		return s.runBuffered(pkgs)
+		return s.runBuffered(ctx, pkgs)
 	}
-	return s.RunStream(pkgs, nil)
+	return s.RunStream(ctx, pkgs, nil)
 }
 
 // RunStream sweeps the archive and additionally calls emit (if
@@ -192,7 +196,7 @@ func (s *Sweeper) Run(pkgs []Package) (*SweepResult, error) {
 // runs on the emitter goroutine; a slow callback backpressures the
 // pipeline rather than growing a buffer. The returned SweepResult is
 // byte-identical to Run's for any worker count.
-func (s *Sweeper) RunStream(pkgs []Package, emit func(FileResult)) (*SweepResult, error) {
+func (s *Sweeper) RunStream(ctx context.Context, pkgs []Package, emit func(FileResult)) (*SweepResult, error) {
 	workers := s.workerCount()
 	acc := newAccumulator(pkgs)
 	resCh := make(chan fileResult, workers)
@@ -237,7 +241,7 @@ func (s *Sweeper) RunStream(pkgs []Package, emit func(FileResult)) (*SweepResult
 			}
 		}
 	}()
-	workerStats, err := s.runPipelineWindowed(pkgs, workers, window, func(r fileResult) { resCh <- r })
+	workerStats, err := s.runPipelineWindowed(ctx, pkgs, workers, window, func(r fileResult) { resCh <- r })
 	close(resCh)
 	<-emitterDone
 	if err != nil {
@@ -249,14 +253,14 @@ func (s *Sweeper) RunStream(pkgs []Package, emit func(FileResult)) (*SweepResult
 // runBuffered is the legacy merge strategy: every file's result lands
 // in an archive-sized slice slot, reduced only after the pipeline
 // drains.
-func (s *Sweeper) runBuffered(pkgs []Package) (*SweepResult, error) {
+func (s *Sweeper) runBuffered(ctx context.Context, pkgs []Package) (*SweepResult, error) {
 	workers := s.workerCount()
 	files := 0
 	for _, p := range pkgs {
 		files += len(p.Files)
 	}
 	results := make([]fileResult, files) // disjoint per-index writes
-	workerStats, err := s.runPipelineWindowed(pkgs, workers, nil, func(r fileResult) { results[r.idx] = r })
+	workerStats, err := s.runPipelineWindowed(ctx, pkgs, workers, nil, func(r fileResult) { results[r.idx] = r })
 	if err != nil {
 		return nil, err
 	}
@@ -276,13 +280,18 @@ func (s *Sweeper) runBuffered(pkgs []Package) (*SweepResult, error) {
 // shuts down without deadlocking (feeder and builders select on the
 // stop channel — including the feeder's window acquisition) and
 // undelivered files are simply absent.
-func (s *Sweeper) runPipelineWindowed(pkgs []Package, workers int, window chan struct{}, deliver func(fileResult)) ([]core.Stats, error) {
+func (s *Sweeper) runPipelineWindowed(ctx context.Context, pkgs []Package, workers int, window chan struct{}, deliver func(fileResult)) ([]core.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	jobs := makeJobs(pkgs)
 	workerStats := make([]core.Stats, workers) // lock-free per-worker accumulation
 
 	jobCh := make(chan fileJob)
 	builtCh := make(chan builtUnit, workers)
 	stop := make(chan struct{})
+	done := make(chan struct{})
+	defer close(done)
 	var firstErr error
 	var errOnce sync.Once
 	fail := func(err error) {
@@ -291,6 +300,18 @@ func (s *Sweeper) runPipelineWindowed(pkgs []Package, workers int, window chan s
 			close(stop)
 		})
 	}
+	// Translate context cancellation into the pipeline's own shutdown
+	// mechanism exactly once: every stage already selects on stop, and
+	// the checker inside each worker observes ctx directly, so a cancel
+	// mid-CDCL unwinds within one solver check interval.
+	go func() {
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case <-stop:
+		case <-done:
+		}
+	}()
 
 	var buildWG, checkWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -329,7 +350,11 @@ func (s *Sweeper) runPipelineWindowed(pkgs []Package, workers int, window chan s
 			for u := range builtCh {
 				funcs := len(u.prog.Funcs)
 				t1 := time.Now()
-				reports := checker.CheckProgram(u.prog)
+				reports, err := checker.CheckProgram(ctx, u.prog)
+				if err != nil {
+					fail(err)
+					break
+				}
 				deliver(fileResult{
 					idx:          u.idx,
 					pkgIdx:       u.pkgIdx,

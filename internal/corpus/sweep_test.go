@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -40,11 +41,11 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	}
 	pkgs := GenerateArchive(cfg)
 
-	serial, err := (&Sweeper{Options: sweepOpts(), Workers: 1}).Run(pkgs)
+	serial, err := (&Sweeper{Options: sweepOpts(), Workers: 1}).Run(context.Background(), pkgs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := (&Sweeper{Options: sweepOpts(), Workers: 8}).Run(pkgs)
+	parallel, err := (&Sweeper{Options: sweepOpts(), Workers: 8}).Run(context.Background(), pkgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 // TestSweepEmptyArchive: the degenerate sweep must succeed and Format
 // must not divide by zero.
 func TestSweepEmptyArchive(t *testing.T) {
-	res, err := Sweep(nil, sweepOpts())
+	res, err := Sweep(context.Background(), nil, sweepOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestSweepErrorPropagation(t *testing.T) {
 		{Name: "bad", Files: []string{"int broken( {\n"}},
 	}
 	for _, workers := range []int{1, 4} {
-		_, err := (&Sweeper{Options: sweepOpts(), Workers: workers}).Run(pkgs)
+		_, err := (&Sweeper{Options: sweepOpts(), Workers: workers}).Run(context.Background(), pkgs)
 		if err == nil {
 			t.Errorf("workers=%d: sweep of invalid source succeeded", workers)
 		} else if !strings.Contains(err.Error(), "bad_0.c") {
@@ -148,7 +149,7 @@ func TestSweepByteIdenticalAcrossWorkersAndModes(t *testing.T) {
 	var baseLog string
 	for _, workers := range []int{1, 4, 16} {
 		for _, buffered := range []bool{false, true} {
-			res, err := (&Sweeper{Options: sweepOpts(), Workers: workers, Buffered: buffered}).Run(pkgs)
+			res, err := (&Sweeper{Options: sweepOpts(), Workers: workers, Buffered: buffered}).Run(context.Background(), pkgs)
 			if err != nil {
 				t.Fatalf("workers=%d buffered=%v: %v", workers, buffered, err)
 			}
@@ -182,7 +183,7 @@ func TestSweepStreamingEmitsInOrder(t *testing.T) {
 	}
 	pkgs := GenerateArchive(cfg)
 	var streamed []FileResult
-	res, err := (&Sweeper{Options: sweepOpts(), Workers: 8}).RunStream(pkgs, func(fr FileResult) {
+	res, err := (&Sweeper{Options: sweepOpts(), Workers: 8}).RunStream(context.Background(), pkgs, func(fr FileResult) {
 		streamed = append(streamed, fr)
 	})
 	if err != nil {
@@ -224,7 +225,7 @@ func TestSweepErrorShutdownNoDeadlock(t *testing.T) {
 		for _, workers := range []int{4, 16} {
 			done := make(chan error, 1)
 			go func() {
-				_, err := (&Sweeper{Options: sweepOpts(), Workers: workers, Buffered: buffered}).Run(pkgs)
+				_, err := (&Sweeper{Options: sweepOpts(), Workers: workers, Buffered: buffered}).Run(context.Background(), pkgs)
 				done <- err
 			}()
 			select {
@@ -253,13 +254,13 @@ func TestSweepIncrementalVsScratch(t *testing.T) {
 	}
 	pkgs := GenerateArchive(cfg)
 
-	inc, err := (&Sweeper{Options: sweepOpts(), Workers: 4}).Run(pkgs)
+	inc, err := (&Sweeper{Options: sweepOpts(), Workers: 4}).Run(context.Background(), pkgs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	scratchOpts := sweepOpts()
 	scratchOpts.ScratchSolve = true
-	scr, err := (&Sweeper{Options: scratchOpts, Workers: 4}).Run(pkgs)
+	scr, err := (&Sweeper{Options: scratchOpts, Workers: 4}).Run(context.Background(), pkgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestSweepRewriteLayerEngaged(t *testing.T) {
 		Packages: 8, FilesPerPackage: 2, FuncsPerFile: 4,
 		UnstableFraction: 1, Seed: 5,
 	}
-	res, err := Sweep(GenerateArchive(cfg), sweepOpts())
+	res, err := Sweep(context.Background(), GenerateArchive(cfg), sweepOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,8 +8,7 @@
 package sat
 
 import (
-	"errors"
-	"time"
+	"context"
 )
 
 // Var is a propositional variable, numbered from 0.
@@ -61,9 +60,6 @@ func (s Status) String() string {
 		return "unknown"
 	}
 }
-
-// ErrTimeout is returned by Solve when the configured deadline expires.
-var ErrTimeout = errors.New("sat: solve deadline exceeded")
 
 type lbool int8
 
@@ -127,8 +123,13 @@ type Solver struct {
 	// with NumLearnts it quantifies how much work an incremental caller
 	// amortizes across queries.
 	Solves int64
-	// Deadline, if nonzero, bounds a single Solve call.
-	Deadline time.Time
+	// Ctx, if non-nil, is polled during search (every few hundred
+	// conflicts, and between restarts): once it is cancelled or past
+	// its deadline, the Solve call returns Unknown promptly. It is the
+	// general cancellation mechanism — per-query wall-clock timeouts
+	// are expressed as context deadlines by the bv layer — replacing
+	// the one-off Deadline field this solver used to carry.
+	Ctx context.Context
 	// MaxConflicts, if nonzero, bounds the number of conflicts per
 	// Solve call before returning Unknown.
 	MaxConflicts int64
@@ -568,6 +569,13 @@ func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 		s.conflCore = nil
 		return Unsat
 	}
+	if s.interrupted() {
+		// Already cancelled: give up before touching the trail, so a
+		// caller draining a cancelled request pays one cheap check per
+		// query instead of a search restart.
+		s.conflCore = nil
+		return Unknown
+	}
 	defer func() {
 		s.backtrackTo(0)
 		s.numAssumed = 0
@@ -599,10 +607,13 @@ func (s *Solver) exhausted(conflictsAtStart int64) bool {
 	if s.MaxConflicts > 0 && s.Conflicts-conflictsAtStart >= s.MaxConflicts {
 		return true
 	}
-	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
-		return true
-	}
-	return false
+	return s.interrupted()
+}
+
+// interrupted reports whether the solve context has been cancelled or
+// has passed its deadline.
+func (s *Solver) interrupted() bool {
+	return s.Ctx != nil && s.Ctx.Err() != nil
 }
 
 // search runs CDCL until a verdict, a conflict budget is exhausted

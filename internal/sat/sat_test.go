@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -282,9 +283,11 @@ func TestMaxConflictsBudget(t *testing.T) {
 	}
 }
 
-func TestDeadline(t *testing.T) {
+func TestContextCancellation(t *testing.T) {
 	s := New()
-	s.Deadline = time.Now().Add(-time.Second) // already expired
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled
+	s.Ctx = ctx
 	n := 8
 	p := make([][]Var, n+1)
 	for i := range p {
@@ -308,7 +311,69 @@ func TestDeadline(t *testing.T) {
 		}
 	}
 	if got := s.Solve(); got != Unknown {
+		t.Fatalf("cancelled context: got %v, want unknown", got)
+	}
+	// An expired deadline behaves the same way — Unknown, promptly.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	s.Ctx = dctx
+	if got := s.Solve(); got != Unknown {
 		t.Fatalf("expired deadline: got %v, want unknown", got)
+	}
+	// With the interrupt lifted, the same instance gets a verdict.
+	s.Ctx = nil
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("pigeonhole without interrupt: got %v, want unsat", got)
+	}
+}
+
+// TestCancellationMidSearch cancels a context while the solver is deep
+// in a hard search and asserts the call returns promptly with Unknown —
+// the bound the streaming sweep's cancellation guarantee rests on.
+func TestCancellationMidSearch(t *testing.T) {
+	s := New()
+	// A hard unsat instance: pigeonhole with 10 pigeons, too hard to
+	// finish in the test's grace window, so the verdict can only come
+	// from the interrupt.
+	n := 10
+	p := make([][]Var, n+1)
+	for i := range p {
+		p[i] = make([]Var, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		cl := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			cl[j] = NewLit(p[i][j], false)
+		}
+		s.AddClause(cl...)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= n; i++ {
+			for k := i + 1; k <= n; k++ {
+				s.AddClause(NewLit(p[i][j], true), NewLit(p[k][j], true))
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Ctx = ctx
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	select {
+	case got := <-done:
+		if got != Unknown {
+			// The instance finishing before the cancel would be a
+			// surprise, but not an interrupt bug.
+			t.Logf("solver finished before cancellation with %v", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled solve did not return within 10s")
 	}
 }
 

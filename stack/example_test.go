@@ -1,0 +1,43 @@
+package stack_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/stack"
+)
+
+// Example analyzes the paper's Figure 1 — the pointer-overflow sanity
+// check that optimizing compilers silently delete — through the public
+// API and prints the structured diagnostic both as a stable code and
+// in the classic text form.
+func Example() {
+	const src = `
+int parse_header(char *buf, char *buf_end, unsigned int len) {
+	if (buf + len >= buf_end)
+		return -1; /* len too large */
+	if (buf + len < buf)
+		return -1; /* overflow check: compilers delete this */
+	return 0;
+}
+`
+	az := stack.New(
+		stack.WithSolverTimeout(5 * time.Second), // the paper's per-query budget (§6.4)
+	)
+	res, err := az.CheckSource(context.Background(), "figure1.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Printf("%s %s (%s)\n", d.Code, d.Span, d.Category)
+	}
+	fmt.Print(stack.FormatDiagnostics(res.Diagnostics))
+	// Output:
+	// STACK-E001 figure1.c:6:11 (urgent optimization bug)
+	// figure1.c:6:11: unstable code in parse_header [elimination]
+	//   due to undefined behavior:
+	//     pointer overflow at figure1.c:3:10
+	// 1 report(s)
+}

@@ -1,0 +1,169 @@
+// Package service implements the stackd analysis service: the STACK
+// checker behind an HTTP API, the shape the paper's whole-archive
+// evaluation (§6.4) implies for production use — per-query time
+// budgets, machine-consumable results, bounded concurrency.
+//
+// Endpoints:
+//
+//	POST /v1/analyze  {"name": "file.c", "source": "..."}
+//	                  → 200 {"file": ..., "diagnostics": [...], "stats": {...}}
+//	GET  /healthz     → 200 {"status": "ok"}
+//
+// Analysis runs under the request's context capped by the configured
+// per-request timeout, so a cancelled client or an expired budget
+// aborts the solver within one check interval. A semaphore bounds
+// concurrent analyses; saturation answers 503 with Retry-After rather
+// than queueing unboundedly.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/stack"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxConcurrent bounds simultaneous analyses; <= 0 means one per
+	// CPU.
+	MaxConcurrent int
+	// RequestTimeout caps each analysis; 0 means no cap beyond the
+	// client's own context.
+	RequestTimeout time.Duration
+	// MaxSourceBytes caps the request body; <= 0 means 4 MiB.
+	MaxSourceBytes int64
+}
+
+const defaultMaxSourceBytes = 4 << 20
+
+// Server serves the analysis API over one shared Analyzer.
+type Server struct {
+	az   *stack.Analyzer
+	opts Options
+	sem  chan struct{}
+	mux  *http.ServeMux
+}
+
+// New returns a Server exposing az.
+func New(az *stack.Analyzer, opts Options) *Server {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxSourceBytes <= 0 {
+		opts.MaxSourceBytes = defaultMaxSourceBytes
+	}
+	s := &Server{
+		az:   az,
+		opts: opts,
+		sem:  make(chan struct{}, opts.MaxConcurrent),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// analyzeRequest is the /v1/analyze request body.
+type analyzeRequest struct {
+	// Name is the display name used in diagnostic spans (default
+	// "input.c").
+	Name string `json:"name"`
+	// Source is the C translation unit to analyze.
+	Source string `json:"source"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Compact canonical JSON: one line per body, as the smoke recipes
+	// document.
+	_ = json.NewEncoder(w).Encode(v) // headers are sent; nothing left to do on error
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"method not allowed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"method not allowed; POST a JSON body"})
+		return
+	}
+	// Read and validate the body before admission control, so a
+	// slow-body client cannot occupy an analysis slot while the bytes
+	// trickle in.
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxSourceBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"reading request body: " + err.Error()})
+		return
+	}
+	if int64(len(body)) > s.opts.MaxSourceBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{"request body exceeds source size limit"})
+		return
+	}
+	var req analyzeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"decoding request: " + err.Error()})
+		return
+	}
+	if req.Source == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{`missing "source"`})
+		return
+	}
+	if req.Name == "" {
+		req.Name = "input.c"
+	}
+
+	// Admission control: a full semaphore answers 503 immediately so a
+	// saturated service sheds load instead of queueing requests whose
+	// deadlines would expire anyway.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"analysis capacity saturated; retry"})
+		return
+	}
+
+	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	res, err := s.az.CheckSource(ctx, req.Name, req.Source)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"analysis exceeded the request time budget"})
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is moot but keep the handler
+		// total.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"request cancelled"})
+	default:
+		// Frontend rejection (lex/parse/typecheck/IR): the input is at
+		// fault.
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+	}
+}

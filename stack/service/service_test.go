@@ -1,0 +1,187 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/stack"
+)
+
+const fig1Src = `
+int parse_header(char *buf, char *buf_end, unsigned int len) {
+	if (buf + len >= buf_end)
+		return -1;
+	if (buf + len < buf)
+		return -1;
+	return 0;
+}
+`
+
+func newTestServer(opts Options) *Server {
+	return New(stack.New(), opts)
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(Options{})
+	w := doJSON(t, srv, http.MethodGet, "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", w.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+	if w := doJSON(t, srv, http.MethodPost, "/healthz", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", w.Code)
+	}
+}
+
+func TestAnalyzeHappyPath(t *testing.T) {
+	srv := newTestServer(Options{})
+	reqBody, _ := json.Marshal(map[string]string{"name": "figure1.c", "source": fig1Src})
+	w := doJSON(t, srv, http.MethodPost, "/v1/analyze", string(reqBody))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var res stack.Result
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if res.File != "figure1.c" {
+		t.Errorf("file = %q", res.File)
+	}
+	if len(res.Diagnostics) == 0 {
+		t.Fatal("expected diagnostics for the Figure 1 unstable check")
+	}
+	d := res.Diagnostics[0]
+	if d.Code != stack.RuleElimination {
+		t.Errorf("code = %q, want %q", d.Code, stack.RuleElimination)
+	}
+	if d.Span.File != "figure1.c" || d.Span.Line == 0 {
+		t.Errorf("span = %+v", d.Span)
+	}
+	if len(d.UB) == 0 || d.UB[0].Code != stack.UBCodePointerOverflow {
+		t.Errorf("ub = %+v, want pointer overflow (%s)", d.UB, stack.UBCodePointerOverflow)
+	}
+	if res.Stats.Queries == 0 {
+		t.Errorf("stats = %+v, want nonzero queries", res.Stats)
+	}
+}
+
+func TestAnalyzeDefaultsName(t *testing.T) {
+	srv := newTestServer(Options{})
+	w := doJSON(t, srv, http.MethodPost, "/v1/analyze", `{"source":"int f(void) { return 0; }"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	var res stack.Result
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.File != "input.c" {
+		t.Errorf("file = %q, want the input.c default", res.File)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("clean source produced diagnostics: %+v", res.Diagnostics)
+	}
+}
+
+func TestAnalyzeRejections(t *testing.T) {
+	srv := newTestServer(Options{MaxSourceBytes: 64})
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		want   int
+	}{
+		{"method", http.MethodGet, "", http.StatusMethodNotAllowed},
+		{"bad json", http.MethodPost, "{", http.StatusBadRequest},
+		{"missing source", http.MethodPost, `{"name":"x.c"}`, http.StatusBadRequest},
+		{"parse error", http.MethodPost, `{"source":"int f( {"}`, http.StatusUnprocessableEntity},
+		{"oversized", http.MethodPost, `{"source":"` + strings.Repeat("x", 100) + `"}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		w := doJSON(t, srv, tc.method, "/v1/analyze", tc.body)
+		if w.Code != tc.want {
+			t.Errorf("%s: status = %d, want %d (body %s)", tc.name, w.Code, tc.want, w.Body.String())
+		}
+		var e map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+			t.Errorf("%s: non-JSON error body %q", tc.name, w.Body.String())
+		} else if e["error"] == "" {
+			t.Errorf("%s: error body missing message: %v", tc.name, e)
+		}
+	}
+}
+
+func TestAnalyzeSaturation(t *testing.T) {
+	srv := newTestServer(Options{MaxConcurrent: 1})
+	// Occupy the only slot, as a long-running analysis would.
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem }()
+	w := doJSON(t, srv, http.MethodPost, "/v1/analyze", `{"source":"int f(void) { return 0; }"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+func TestAnalyzeRequestTimeout(t *testing.T) {
+	srv := newTestServer(Options{RequestTimeout: time.Nanosecond})
+	reqBody, _ := json.Marshal(map[string]string{"source": fig1Src})
+	w := doJSON(t, srv, http.MethodPost, "/v1/analyze", string(reqBody))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", w.Code, w.Body.String())
+	}
+}
+
+// TestOverHTTP drives the handler through a real listener end to end,
+// the way cmd/stackd serves it.
+func TestOverHTTP(t *testing.T) {
+	ts := httptest.NewServer(newTestServer(Options{}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json",
+		strings.NewReader(`{"name":"fig1.c","source":`+mustJSON(fig1Src)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var res stack.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) == 0 {
+		t.Error("expected diagnostics over HTTP")
+	}
+}
+
+func mustJSON(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,229 @@
+package stack
+
+// Result sinks. The streaming sweep (and CheckSources) delivers
+// finished files strictly in archive order; a Sink consumes that
+// stream and renders it in some output format. Three implementations
+// ship with the package:
+//
+//   - NewTextSink: the classic human-readable stream, byte-identical
+//     to what the sweep CLI printed before sinks existed;
+//   - NewJSONLSink: one JSON object per file, for piping into report
+//     pipelines;
+//   - NewSARIFSink: a SARIF 2.1.0 log, buffered until Close, for code
+//     scanning UIs.
+//
+// A sink returning an error aborts the sweep; Close flushes whatever
+// the format buffers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sink consumes per-file results in input order.
+type Sink interface {
+	// Emit is called once per file, in strictly increasing Index
+	// order, as soon as the file and every earlier one have finished.
+	Emit(FileResult) error
+	// Close flushes buffered output. No Emit calls follow Close.
+	Close() error
+}
+
+// --- Text -----------------------------------------------------------------
+
+type textSink struct{ w io.Writer }
+
+// NewTextSink returns a sink that renders each file's diagnostics in
+// the classic streaming text form: a "file: N report(s)" header line
+// followed by the frozen textual rendering of each diagnostic,
+// skipping files with no findings. The output is byte-identical to the
+// pre-sink sweep CLI stream.
+func NewTextSink(w io.Writer) Sink { return textSink{w} }
+
+func (s textSink) Emit(fr FileResult) error {
+	if len(fr.Diagnostics) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(s.w, "%s: %d report(s)\n", fr.File, len(fr.Diagnostics)); err != nil {
+		return err
+	}
+	for _, d := range fr.Diagnostics {
+		if _, err := fmt.Fprintf(s.w, "  %v\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (textSink) Close() error { return nil }
+
+// --- JSON lines -----------------------------------------------------------
+
+type jsonlSink struct{ enc *json.Encoder }
+
+// NewJSONLSink returns a sink that writes one JSON object per file —
+// every file, including clean ones, so consumers can track coverage.
+// Timing fields are wall-clock measurements; all other fields are
+// deterministic.
+func NewJSONLSink(w io.Writer) Sink {
+	return jsonlSink{json.NewEncoder(w)}
+}
+
+func (s jsonlSink) Emit(fr FileResult) error { return s.enc.Encode(fr) }
+
+func (jsonlSink) Close() error { return nil }
+
+// --- SARIF ----------------------------------------------------------------
+
+// SARIF 2.1.0 structures, reduced to the slice this tool emits.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	Name             string       `json:"name"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID     string          `json:"ruleId"`
+	Level      string          `json:"level"`
+	Message    sarifMessage    `json:"message"`
+	Locations  []sarifLocation `json:"locations,omitempty"`
+	Properties map[string]any  `json:"properties,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifRules is the static rule table, one entry per stable rule code.
+var sarifRules = []sarifRule{
+	{ID: RuleElimination, Name: "UnstableCodeElimination",
+		ShortDescription: sarifMessage{Text: "reachable code becomes unreachable under the well-defined program assumption"}},
+	{ID: RuleSimplifyBool, Name: "UnstableBooleanSimplification",
+		ShortDescription: sarifMessage{Text: "boolean expression folds to a constant under the well-defined program assumption"}},
+	{ID: RuleSimplifyAlgebra, Name: "UnstableAlgebraicSimplification",
+		ShortDescription: sarifMessage{Text: "comparison simplifies algebraically under the well-defined program assumption"}},
+}
+
+type sarifSink struct {
+	w       io.Writer
+	results []sarifResult
+}
+
+// NewSARIFSink returns a sink that accumulates diagnostics and writes
+// a single SARIF 2.1.0 log on Close. Rule IDs are the package's stable
+// rule codes; the minimal UB set and the §6.2 category travel in each
+// result's property bag.
+func NewSARIFSink(w io.Writer) Sink { return &sarifSink{w: w} }
+
+func (s *sarifSink) Emit(fr FileResult) error {
+	for _, d := range fr.Diagnostics {
+		msg := fmt.Sprintf("unstable code in %s [%s]", d.Function, d.Algo)
+		if d.Simplified != "" {
+			msg += fmt.Sprintf(" — simplifies to %s", d.Simplified)
+		}
+		res := sarifResult{
+			RuleID:  d.Code,
+			Level:   "warning",
+			Message: sarifMessage{Text: msg},
+			Properties: map[string]any{
+				"category": d.Category,
+				"function": d.Function,
+			},
+		}
+		if len(d.UB) > 0 {
+			ubs := make([]map[string]any, 0, len(d.UB))
+			for _, u := range d.UB {
+				ubs = append(ubs, map[string]any{
+					"code": u.Code,
+					"kind": u.Kind,
+					"line": u.Span.Line,
+					"col":  u.Span.Col,
+				})
+			}
+			res.Properties["ub"] = ubs
+		}
+		uri := d.Span.File
+		if uri == "" {
+			uri = fr.File
+		}
+		if d.Span.Line > 0 {
+			res.Locations = []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           &sarifRegion{StartLine: d.Span.Line, StartColumn: d.Span.Col},
+				},
+			}}
+		} else {
+			res.Locations = []sarifLocation{{
+				PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: uri}},
+			}}
+		}
+		s.results = append(s.results, res)
+	}
+	return nil
+}
+
+func (s *sarifSink) Close() error {
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "stack",
+				InformationURI: "https://css.csail.mit.edu/stack/",
+				Rules:          sarifRules,
+			}},
+			Results: s.results,
+		}},
+	}
+	if log.Runs[0].Results == nil {
+		log.Runs[0].Results = []sarifResult{}
+	}
+	out, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = s.w.Write(out)
+	return err
+}

@@ -1,0 +1,357 @@
+// Package stack is the public, versioned API of the STACK unstable-code
+// checker reproduction (conf_sosp_WangZKS13). It wraps the internal
+// pipeline — C frontend, SSA IR, word-level rewriting, incremental
+// bit-vector solving, the solver-based elimination/simplification
+// algorithms — behind a context-aware Analyzer that returns structured
+// Diagnostic values with stable rule codes instead of preformatted
+// strings.
+//
+// Construct an Analyzer with functional options:
+//
+//	az := stack.New(
+//		stack.WithSolverTimeout(5*time.Second),
+//		stack.WithWorkers(8),
+//	)
+//	res, err := az.CheckSource(ctx, "fig1.c", src)
+//
+// Every entry point takes a context.Context that is honored all the way
+// down to the CDCL search loop: cancelling it (or letting its deadline
+// expire) aborts the analysis within one solver check interval.
+//
+// Results can be rendered through pluggable sinks (NewTextSink,
+// NewJSONLSink, NewSARIFSink) fed in archive order by the streaming
+// sweep, or formatted with FormatDiagnostics, whose output is
+// byte-identical to the internal checker's classic text form.
+//
+// Stability contract: diagnostic rule codes (RuleElimination, ...) and
+// UB-condition codes (UBCodePointerOverflow, ...) are append-only —
+// existing codes never change meaning or disappear — and the text
+// rendering of a Diagnostic is frozen, so sinks and downstream report
+// pipelines can rely on both.
+package stack
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// Analyzer is a configured instance of the checker. It is safe for
+// concurrent use: every analysis allocates its own internal checker
+// state, so one Analyzer can serve many requests (cmd/stackd holds a
+// single Analyzer for the whole service).
+type Analyzer struct {
+	opts     core.Options
+	workers  int
+	buffered bool
+}
+
+// config collects option values before the Analyzer is built.
+type config struct {
+	opts     core.Options
+	workers  int
+	buffered bool
+}
+
+// Option configures an Analyzer.
+type Option func(*config)
+
+// New returns an Analyzer with the paper's default configuration
+// (5-second query timeout, origin filtering, minimal UB sets,
+// inlining) modified by the given options.
+func New(options ...Option) *Analyzer {
+	cfg := config{opts: core.DefaultOptions}
+	for _, o := range options {
+		o(&cfg)
+	}
+	return &Analyzer{opts: cfg.opts, workers: cfg.workers, buffered: cfg.buffered}
+}
+
+// WithSolverTimeout bounds each solver query by a wall-clock duration
+// (the paper used 5 seconds, §6.4). Zero means no per-query timeout;
+// the request context's deadline still applies.
+func WithSolverTimeout(d time.Duration) Option {
+	return func(c *config) { c.opts.Timeout = d }
+}
+
+// WithMaxConflictsPerQuery bounds solver effort per query by a
+// deterministic conflict budget. Zero means unbounded.
+func WithMaxConflictsPerQuery(n int64) Option {
+	return func(c *config) { c.opts.MaxConflictsPerQuery = n }
+}
+
+// WithWorkers sets the number of goroutines per pipeline stage for
+// CheckSources and Sweep; values <= 0 mean one per CPU. Diagnostics
+// and counts are identical for every worker count.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithInlining toggles the IR inlining stage (paper §4.2; on by
+// default).
+func WithInlining(on bool) Option {
+	return func(c *config) { c.opts.Inline = on }
+}
+
+// WithMinUBSets toggles the minimal UB-condition-set computation of
+// Fig. 8 (on by default). Off saves the masking loop's solver queries.
+func WithMinUBSets(on bool) Option {
+	return func(c *config) { c.opts.MinUBSets = on }
+}
+
+// WithOriginFilter toggles suppression of reports whose unstable
+// fragment came from a macro expansion or inlined function (paper
+// §4.2; on by default).
+func WithOriginFilter(on bool) Option {
+	return func(c *config) { c.opts.FilterOrigins = on }
+}
+
+// WithScratchSolving disables incremental solving: every query runs on
+// a fresh SAT core, the differential-test reference mode. Diagnostics
+// are identical either way; only the work differs.
+func WithScratchSolving(on bool) Option {
+	return func(c *config) { c.opts.ScratchSolve = on }
+}
+
+// WithBufferedSweep selects the legacy collect-then-merge sweep
+// strategy instead of the default O(Workers)-memory streaming emitter.
+// Output is byte-identical either way. Ignored when Sweep is given a
+// sink, which requires streaming.
+func WithBufferedSweep(on bool) Option {
+	return func(c *config) { c.buffered = on }
+}
+
+// CompilerEnv models the gcc workaround options of paper §7: each flag
+// promises defined behavior for some UB kinds, removing the matching
+// conditions from the well-defined program assumption.
+type CompilerEnv struct {
+	// WrapV is -fwrapv: signed integer arithmetic wraps.
+	WrapV bool
+	// NoStrictOverflow is -fno-strict-overflow: pointer arithmetic
+	// wraps too.
+	NoStrictOverflow bool
+	// NoDeleteNullPointerChecks is -fno-delete-null-pointer-checks.
+	NoDeleteNullPointerChecks bool
+}
+
+// WithCompilerEnv sets the compiler-flag environment the analysis
+// assumes the code will be built under.
+func WithCompilerEnv(env CompilerEnv) Option {
+	return func(c *config) {
+		c.opts.Flags = core.Flags{
+			WrapV:                     env.WrapV,
+			NoStrictOverflow:          env.NoStrictOverflow,
+			NoDeleteNullPointerChecks: env.NoDeleteNullPointerChecks,
+		}
+	}
+}
+
+// Stats aggregates analysis effort: the quantities of the paper's
+// Figure 16 plus the counters of the rewrite and incremental-solving
+// layers.
+type Stats struct {
+	Functions     int   `json:"functions"`
+	Blocks        int   `json:"blocks"`
+	Queries       int64 `json:"queries"`
+	Timeouts      int64 `json:"timeouts"`
+	RewriteHits   int64 `json:"rewriteHits"`
+	TermsCreated  int64 `json:"termsCreated"`
+	FastPaths     int64 `json:"fastPaths"`
+	TermsBlasted  int64 `json:"termsBlasted"`
+	BlastPasses   int64 `json:"blastPasses"`
+	LearntsReused int64 `json:"learntsReused"`
+}
+
+func statsOf(st core.Stats) Stats {
+	return Stats{
+		Functions:     st.Functions,
+		Blocks:        st.Blocks,
+		Queries:       st.Queries,
+		Timeouts:      st.Timeouts,
+		RewriteHits:   st.RewriteHits,
+		TermsCreated:  st.TermsCreated,
+		FastPaths:     st.FastPaths,
+		TermsBlasted:  st.TermsBlasted,
+		BlastPasses:   st.BlastPasses,
+		LearntsReused: st.LearntsReused,
+	}
+}
+
+// Result is one input's finished analysis.
+type Result struct {
+	File        string       `json:"file"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+	Stats       Stats        `json:"stats"`
+}
+
+// Source is one named C translation unit for CheckSources.
+type Source struct {
+	Name string
+	Text string
+}
+
+// checkOne runs the frontend and the checker over one source under ctx.
+func checkOne(ctx context.Context, checker *core.Checker, name, src string) ([]*core.Report, error) {
+	f, err := cc.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.Check(f); err != nil {
+		return nil, err
+	}
+	p, err := ir.Build(f)
+	if err != nil {
+		return nil, err
+	}
+	return checker.CheckProgram(ctx, p)
+}
+
+// CheckSource analyzes one C source and returns its diagnostics.
+// Cancelling ctx aborts the analysis within one solver check interval
+// and returns ctx's error.
+func (a *Analyzer) CheckSource(ctx context.Context, name, src string) (*Result, error) {
+	checker := core.New(a.opts)
+	reports, err := checkOne(ctx, checker, name, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		File:        name,
+		Diagnostics: diagnosticsOf(reports),
+		Stats:       statsOf(checker.Stats()),
+	}, nil
+}
+
+// CheckFile reads path and analyzes it as a C source.
+func (a *Analyzer) CheckFile(ctx context.Context, path string) (*Result, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return a.CheckSource(ctx, path, string(src))
+}
+
+// CheckSources analyzes several sources concurrently (the Workers
+// option sets the pool size) and calls emit once per source, in input
+// order, as soon as that source and every earlier one have finished —
+// the same in-order streaming discipline as the archive sweep, with
+// O(Workers) results buffered at any moment. Diagnostics are identical
+// for every worker count.
+//
+// On the first error (in input order) emission stops and the error,
+// annotated with the source name, is returned; sources after the
+// failing one are skipped. The returned Stats cover the sources that
+// were analyzed.
+func (a *Analyzer) CheckSources(ctx context.Context, srcs []Source, emit func(FileResult)) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(srcs) == 0 {
+		return Stats{}, nil
+	}
+	workers := a.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+
+	type outcome struct {
+		idx   int
+		diags []Diagnostic
+		err   error
+	}
+	workerStats := make([]core.Stats, workers)
+	idxCh := make(chan int)
+	outCh := make(chan outcome, workers)
+	// The admission window caps how far workers run ahead of a slow
+	// early source, bounding the pending map at O(workers).
+	window := make(chan struct{}, 4*workers)
+	// failedIdx holds the smallest input index that has errored so
+	// far. Skipping strictly later indices (never earlier ones) keeps
+	// the fail-fast path race-free: a source before the first error is
+	// always analyzed and emitted, even if its worker observes the
+	// failure flag after dequeuing it.
+	var failedIdx atomic.Int64
+	failedIdx.Store(int64(len(srcs)))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			checker := core.New(a.opts)
+			for i := range idxCh {
+				// Fail fast: skip sources after the earliest error. The
+				// emitter never reaches them — it stops at the error —
+				// so they are never emitted.
+				if int64(i) > failedIdx.Load() {
+					outCh <- outcome{idx: i}
+					continue
+				}
+				reports, err := checkOne(ctx, checker, srcs[i].Name, srcs[i].Text)
+				if err != nil {
+					for {
+						cur := failedIdx.Load()
+						if int64(i) >= cur || failedIdx.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					outCh <- outcome{idx: i, err: err}
+					continue
+				}
+				outCh <- outcome{idx: i, diags: diagnosticsOf(reports)}
+			}
+			workerStats[w] = checker.Stats()
+		}(w)
+	}
+	go func() {
+		for i := range srcs {
+			window <- struct{}{}
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+		close(outCh)
+	}()
+
+	var firstErr error
+	next := 0
+	pending := map[int]outcome{}
+	for o := range outCh {
+		pending[o.idx] = o
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if firstErr == nil {
+				if cur.err != nil {
+					firstErr = fmt.Errorf("%s: %w", srcs[next].Name, cur.err)
+				} else if emit != nil {
+					emit(FileResult{
+						Index:       next,
+						File:        srcs[next].Name,
+						Diagnostics: cur.diags,
+					})
+				}
+			}
+			next++
+			<-window
+		}
+	}
+	var st core.Stats
+	for _, ws := range workerStats {
+		st.Add(ws)
+	}
+	return statsOf(st), firstErr
+}
