@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet staticcheck test race stackd-race bench-smoke bench fuzz-smoke cover race-cover ci
+.PHONY: all build vet staticcheck vulncheck test race stackd-race bench-smoke bench fuzz-smoke service-smoke cover race-cover ci
 
 all: build
 
@@ -20,6 +20,16 @@ staticcheck:
 		staticcheck ./... ; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
+	fi
+
+# Known-vulnerability scan over the module and the toolchain's stdlib.
+# Skipped with a notice when the binary is absent (the dev container
+# has no network); CI installs it.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... ; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)" ; \
 	fi
 
 test:
@@ -53,6 +63,12 @@ fuzz-smoke:
 	$(GO) test ./internal/cc -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bv -run '^$$' -fuzz '^FuzzTermConstruction$$' -fuzztime $(FUZZTIME)
 
+# End-to-end service smoke: build stackd + the stack CLI, start two
+# replicas, and require a sharded `stack -remote` run (text and jsonl)
+# plus a raw POST /v1/sweep to be byte-identical to the local run.
+service-smoke:
+	./scripts/service-smoke.sh
+
 # Aggregate coverage over every package.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -64,4 +80,4 @@ race-cover:
 	$(GO) test -race -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: vet staticcheck build race-cover bench-smoke fuzz-smoke
+ci: vet staticcheck vulncheck build race-cover bench-smoke fuzz-smoke service-smoke

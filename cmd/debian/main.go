@@ -9,6 +9,7 @@
 //	debian [-packages N] [-files N] [-funcs N] [-seed N] [-j N]
 //	       [-timeout D] [-max-conflicts N] [-perf]
 //	       [-stream] [-format text|jsonl|sarif] [-buffered]
+//	       [-remote host1,host2,...]
 //
 // With -perf it instead runs the three Figure 16 package profiles
 // (Kerberos-, Postgres-, and Linux-sized) and prints the table rows.
@@ -28,6 +29,15 @@
 // summary. -buffered selects the legacy collect-then-merge strategy;
 // the summary is byte-identical either way. -stream and -buffered are
 // mutually exclusive (-stream is streaming by definition).
+//
+// -remote runs the sweep against stackd replicas instead of the local
+// solver: the archive's files are flattened into one batch, sharded
+// round-robin across the replicas, and streamed back in archive order
+// through the same sinks (requires -stream; the replicas' solver
+// settings apply, and the text stream is byte-identical to a local
+// -stream run). The batch API carries per-file diagnostics only, so
+// no summary block is printed and the jsonl lines omit the
+// package/function/timing fields of a local sweep.
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/stack"
+	"repro/stack/shard"
 )
 
 func main() {
@@ -51,6 +62,7 @@ func main() {
 	stream := flag.Bool("stream", false, "render per-file results through a sink as they are produced")
 	format := flag.String("format", "text", "streaming sink format: text, jsonl, or sarif")
 	buffered := flag.Bool("buffered", false, "use the legacy buffered merge instead of streaming")
+	remote := flag.String("remote", "", "comma-separated stackd replica addresses; sweep runs remotely (requires -stream)")
 	flag.Parse()
 	if *stream && *buffered {
 		fmt.Fprintln(os.Stderr, "debian: -stream and -buffered are mutually exclusive")
@@ -58,6 +70,10 @@ func main() {
 	}
 	if *stream && *perf {
 		fmt.Fprintln(os.Stderr, "debian: -stream does not apply to the -perf profile table")
+		os.Exit(2)
+	}
+	if *remote != "" && !*stream {
+		fmt.Fprintln(os.Stderr, "debian: -remote requires -stream (the batch API streams per-file results; there is no local summary)")
 		os.Exit(2)
 	}
 
@@ -117,6 +133,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *remote != "" {
+		remoteSweep(ctx, *remote, pkgs, sink)
+		return
+	}
+
 	res, err := az.Sweep(ctx, pkgs, sink)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "debian: %v\n", err)
@@ -129,6 +150,38 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Print(res.Format())
+}
+
+// remoteSweep flattens the archive into one batch and streams it
+// through stackd replicas, sharded round-robin. File names follow the
+// local sweeper's "pkg_N.c" convention, so the text sink's stream is
+// byte-identical to a local -stream run.
+func remoteSweep(ctx context.Context, remote string, pkgs []stack.Package, sink stack.Sink) {
+	chk, err := shard.FromHosts(remote)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "debian: -remote: %v\n", err)
+		os.Exit(2)
+	}
+	var srcs []stack.Source
+	for _, p := range pkgs {
+		for fi, f := range p.Files {
+			srcs = append(srcs, stack.Source{Name: fmt.Sprintf("%s_%d.c", p.Name, fi), Text: f})
+		}
+	}
+	_, err = chk.CheckSources(ctx, srcs, func(fr stack.FileResult) {
+		if err := sink.Emit(fr); err != nil {
+			fmt.Fprintf(os.Stderr, "debian: %v\n", err)
+			os.Exit(1)
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "debian: %v\n", err)
+		os.Exit(1)
+	}
+	if err := sink.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "debian: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // archivePackages generates the synthetic archive and converts it to

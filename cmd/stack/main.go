@@ -2,7 +2,8 @@
 // stack-build workflow (§4.1), rebuilt as a thin client of the public
 // stack API. It parses C files, runs the solver-based unstable-code
 // analysis, and prints bug reports with minimal UB-condition sets and
-// a §6.2 classification.
+// a §6.2 classification — locally, or remotely against a fleet of
+// stackd replicas.
 //
 // Usage:
 //
@@ -21,6 +22,18 @@
 //	-j N                check N inputs concurrently (0 = one per CPU);
 //	                    output order and content are independent of N
 //	                    as long as no query hits the -timeout deadline
+//	-format F           output format: text (the classic report stream),
+//	                    jsonl (one JSON object per file), or sarif
+//	                    (a SARIF 2.1.0 log); non-text formats keep
+//	                    stdout machine-consumable (-stats goes to stderr)
+//	-remote hosts       comma-separated stackd replica addresses
+//	                    (host:port); analysis runs remotely, sharded
+//	                    round-robin across the replicas and re-sequenced
+//	                    into input order — the output is byte-identical
+//	                    to a local run with the same analysis options.
+//	                    Solver flags (-timeout, -max-conflicts, -j,
+//	                    -no-*) then configure nothing: the replicas'
+//	                    stackd settings apply.
 package main
 
 import (
@@ -31,6 +44,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/stack"
+	"repro/stack/shard"
 )
 
 func main() {
@@ -44,21 +58,36 @@ func main() {
 	fwrapv := flag.Bool("fwrapv", false, "assume -fwrapv (signed arithmetic wraps, §7)")
 	fnoStrict := flag.Bool("fno-strict-overflow", false, "assume -fno-strict-overflow (§7)")
 	fnoNull := flag.Bool("fno-delete-null-pointer-checks", false, "assume -fno-delete-null-pointer-checks (§7)")
+	format := flag.String("format", "text", "output format: text, jsonl, or sarif")
+	remote := flag.String("remote", "", "comma-separated stackd replica addresses; analysis runs remotely")
 	flag.Parse()
 
-	az := stack.New(append(common.Options(),
-		stack.WithOriginFilter(!*noFilter),
-		stack.WithMinUBSets(!*noMinsets),
-		stack.WithInlining(!*noInline),
-		stack.WithCompilerEnv(stack.CompilerEnv{
-			WrapV:                     *fwrapv,
-			NoStrictOverflow:          *fnoStrict,
-			NoDeleteNullPointerChecks: *fnoNull,
-		}),
-	)...)
+	// The Checker is where local and remote runs meet: everything after
+	// this switch is oblivious to where the solver executes.
+	var chk stack.Checker
+	if *remote != "" {
+		d, err := shard.FromHosts(*remote)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stack: -remote: %v\n", err)
+			os.Exit(2)
+		}
+		chk = d
+	} else {
+		chk = stack.New(append(common.Options(),
+			stack.WithOriginFilter(!*noFilter),
+			stack.WithMinUBSets(!*noMinsets),
+			stack.WithInlining(!*noInline),
+			stack.WithCompilerEnv(stack.CompilerEnv{
+				WrapV:                     *fwrapv,
+				NoStrictOverflow:          *fnoStrict,
+				NoDeleteNullPointerChecks: *fnoNull,
+			}),
+		)...)
+	}
 
 	// Gather every input up front; the API checks them concurrently
-	// (-j) and streams results back in input order.
+	// (-j locally, sharded round-robin remotely) and streams results
+	// back in input order.
 	type unit struct {
 		name    string // display name (system or path)
 		corpus  bool
@@ -86,13 +115,39 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Non-text formats stream through a sink, exactly the bytes the
+	// sweep service and the jsonl/sarif sweep CLIs produce.
+	var sink stack.Sink
+	switch *format {
+	case "text":
+	case "jsonl":
+		sink = stack.NewJSONLSink(os.Stdout)
+	case "sarif":
+		sink = stack.NewSARIFSink(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "stack: unknown -format %q (want text, jsonl, or sarif)\n", *format)
+		os.Exit(2)
+	}
+
 	exit := 0
 	total := 0
-	st, err := az.CheckSources(context.Background(), srcs, func(fr stack.FileResult) {
+	st, err := chk.CheckSources(context.Background(), srcs, func(fr stack.FileResult) {
 		u := units[fr.Index]
+		if len(fr.Diagnostics) > 0 {
+			exit = 1
+			if u.corpus {
+				total += len(fr.Diagnostics)
+			}
+		}
+		if sink != nil {
+			if err := sink.Emit(fr); err != nil {
+				fmt.Fprintf(os.Stderr, "stack: %v\n", err)
+				os.Exit(2)
+			}
+			return
+		}
 		if u.corpus {
 			fmt.Printf("=== %s: %d report(s), %d planted bug(s)\n", u.name, len(fr.Diagnostics), u.planted)
-			total += len(fr.Diagnostics)
 		} else if len(fr.Diagnostics) == 0 {
 			fmt.Printf("%s: no unstable code found\n", u.name)
 		}
@@ -102,20 +157,26 @@ func main() {
 				fmt.Printf("  category: %s\n", d.Category)
 			}
 		}
-		if len(fr.Diagnostics) > 0 {
-			exit = 1
-		}
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stack: %v\n", err)
 		os.Exit(2)
 	}
-	if *runCorpus {
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "stack: %v\n", err)
+			os.Exit(2)
+		}
+	} else if *runCorpus {
 		fmt.Printf("total: %d report(s)\n", total)
 	}
 
 	if *stats {
-		fmt.Printf("functions analyzed: %d\nblocks: %d\nsolver queries: %d\nquery timeouts: %d\nrewrite hits: %d\nsolver fast paths: %d\n",
+		out := os.Stdout
+		if sink != nil {
+			out = os.Stderr // keep machine-consumable stdout clean
+		}
+		fmt.Fprintf(out, "functions analyzed: %d\nblocks: %d\nsolver queries: %d\nquery timeouts: %d\nrewrite hits: %d\nsolver fast paths: %d\n",
 			st.Functions, st.Blocks, st.Queries, st.Timeouts, st.RewriteHits, st.FastPaths)
 	}
 	os.Exit(exit)

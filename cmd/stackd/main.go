@@ -1,22 +1,32 @@
 // Command stackd serves the STACK checker over HTTP: the service shape
 // of the paper's §6.4 archive evaluation, with per-request contexts,
-// bounded concurrency, and graceful shutdown.
+// bounded concurrency, streaming batch analysis, and graceful
+// shutdown.
 //
 // Usage:
 //
 //	stackd [-addr :8591] [-timeout 5s] [-max-conflicts N] [-j N]
 //	       [-max-concurrent N] [-request-timeout 30s]
 //
-// Endpoints:
+// Endpoints (v2):
 //
 //	POST /v1/analyze  {"name": "file.c", "source": "..."} → diagnostics JSON
+//	POST /v1/sweep    {"sources": [{"name", "source"}, ...]} → JSONL
+//	                  stream, one line per source in input order,
+//	                  flushed as each file completes; ?format=
+//	                  jsonl|text|sarif, ?stats=1 appends a stats
+//	                  trailer (see stack/service)
 //	GET  /healthz     liveness probe
 //
 // The shared solver flags (-timeout, -max-conflicts, -j) mean the same
-// thing as in the stack and debian CLIs. -request-timeout caps one
-// whole request; a request over budget answers 504 after aborting its
-// solver queries mid-search. SIGINT/SIGTERM drain in-flight requests
-// before exiting.
+// thing as in the stack and debian CLIs; -j also sets how many sources
+// of one sweep batch are analyzed concurrently. -request-timeout caps
+// one whole request — including a whole sweep batch; a request over
+// budget answers 504 (or a mid-stream error trailer) after aborting
+// its solver queries mid-search. SIGINT/SIGTERM drain in-flight
+// requests before exiting. stackd replicas are the unit of horizontal
+// scale: point cmd/stack -remote, or a stack/shard dispatcher, at
+// several of them to fan one batch across the fleet.
 package main
 
 import (

@@ -31,17 +31,40 @@
 // interval. Batch and archive runs stream per-file results in input
 // order through pluggable sinks (stack.NewTextSink, NewJSONLSink,
 // NewSARIFSink); the text sink's output is byte-identical to the
-// classic CLI stream.
+// classic CLI stream. All of that streaming rides one deterministic
+// in-order emitter (internal/emit): an admission window bounds
+// buffering at O(workers) and delivery is strictly increasing by
+// input index, for any worker count.
+//
+// # Remote and sharded analysis
+//
+// stack.Checker is the context-first analysis interface
+// (CheckSource/CheckSources) that *stack.Analyzer satisfies; two more
+// implementations move the same contract across machines:
+//
+//   - stack/client.Client speaks the stackd v2 HTTP API (POST
+//     /v1/analyze, POST /v1/sweep streaming JSONL), decoding sweep
+//     results line by line as the server flushes them;
+//   - stack/shard.Dispatcher fans a batch round-robin across N
+//     replica Checkers and re-sequences their streams through the
+//     shared emitter.
+//
+// A sharded remote run is byte-identical to a local single-process
+// run on the same inputs and options — the property the service smoke
+// job (make service-smoke) enforces end to end.
 //
 // # Commands
 //
 //   - cmd/stack: the file checker CLI (the paper's stack-build
-//     workflow, §4.1), a thin client of the stack package;
+//     workflow, §4.1), a thin client of the stack package; -remote
+//     host1,host2,... runs the same inputs against stackd replicas,
+//     -format selects text/JSONL/SARIF output;
 //   - cmd/debian: the §6.4–6.5 synthetic-archive sweep, with
-//     streaming text/JSONL/SARIF output;
-//   - cmd/stackd: the analysis service — POST /v1/analyze and
-//     /healthz over HTTP with per-request contexts, bounded
-//     concurrency, and graceful shutdown;
+//     streaming text/JSONL/SARIF output and a -remote mode over the
+//     batch API;
+//   - cmd/stackd: the analysis service — POST /v1/analyze, streaming
+//     POST /v1/sweep, and /healthz over HTTP with per-request
+//     contexts, bounded concurrency, and graceful shutdown;
 //   - cmd/optsurvey: the §2–3 optimizer/compiler survey tables.
 //
 // The benchmarks in bench_test.go regenerate every table and figure

@@ -45,6 +45,19 @@ func complementary(x, y *Term) bool {
 	return (x.op == OpNot && x.args[0] == y) || (y.op == OpNot && y.args[0] == x)
 }
 
+// addChainSplit decomposes t over the add-chain normal form the OpAdd
+// and OpSub rules maintain: t = base + off with off a constant (zero
+// when t is not an add-with-constant node). Two terms with the same
+// base differ by a constant for every operand value.
+func addChainSplit(t *Term) (base *Term, off *big.Int) {
+	if t.op == OpAdd && t.args[1].op == OpConst {
+		return t.args[0], t.args[1].val
+	}
+	return t, bigZero
+}
+
+var bigZero = new(big.Int)
+
 // smax / smin are the extreme signed constants at width w.
 func smax(w int) *big.Int {
 	m := big.NewInt(1)
@@ -226,6 +239,25 @@ func (b *Builder) rewriteBinary(op Op, x, y *Term) *Term {
 			c := new(big.Int).Add(x.args[1].val, y.val)
 			return b.hit(b.Add(x.args[0], b.Const(c, x.width)))
 		}
+		if y.op == OpNeg {
+			// (a + c1) + (-(a + c2)) = c1 - c2: a directly-built negated
+			// add whose chain base matches the left operand — the shape
+			// OpSub's normalization produces folds there, but the same
+			// difference spelled with explicit Add/Neg lands here.
+			bx, ox := addChainSplit(x)
+			by, oy := addChainSplit(y.args[0])
+			if bx == by {
+				return b.hit(b.Const(new(big.Int).Sub(ox, oy), x.width))
+			}
+		}
+		if x.op == OpNeg {
+			// The mirror image: (-(a + c1)) + (a + c2) = c2 - c1.
+			bx, ox := addChainSplit(x.args[0])
+			by, oy := addChainSplit(y)
+			if bx == by {
+				return b.hit(b.Const(new(big.Int).Sub(oy, ox), x.width))
+			}
+		}
 	case OpSub:
 		if cy && y.val.Sign() == 0 {
 			return b.hit(x) // x - 0 = x
@@ -240,6 +272,15 @@ func (b *Builder) rewriteBinary(op Op, x, y *Term) *Term {
 			// x - c = x + (-c): funnels constant subtraction into the
 			// OpAdd chain-folding rules above.
 			return b.hit(b.Add(x, b.Const(new(big.Int).Neg(y.val), x.width)))
+		}
+		// (a + c1) - (a + c2) = c1 - c2: both sides decompose over a
+		// shared add-chain base, so the difference is a constant for
+		// every value of a — the payoff of keeping sums in add-normal
+		// form. Covers (a + c1) - a and a - (a + c2) too (offset 0).
+		bx, ox := addChainSplit(x)
+		by, oy := addChainSplit(y)
+		if bx == by {
+			return b.hit(b.Const(new(big.Int).Sub(ox, oy), x.width))
 		}
 		// x - y = x + (-y), both operands non-const: every subtraction
 		// interns in add-normal form, so x - y and x + (-y) share one

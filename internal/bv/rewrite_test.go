@@ -272,6 +272,65 @@ var ruleTests = []ruleTest{
 		func(b *Builder, x, y, got *Term) bool {
 			return got.op == OpAdd && got.args[0] == x && got.args[1] == y
 		}},
+	{"addchain-diff", func(b *Builder, x, y *Term) *Term {
+		// (x + 9) - (x + 2) = 7 via the shared add-chain base.
+		return b.Sub(b.Add(x, b.ConstInt64(9, ruleWidth)), b.Add(x, b.ConstInt64(2, ruleWidth)))
+	},
+		func(x, y *big.Int) *big.Int {
+			return refBinary(OpSub, ruleWidth,
+				refBinary(OpAdd, ruleWidth, x, big.NewInt(9)),
+				refBinary(OpAdd, ruleWidth, x, big.NewInt(2)))
+		},
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 7) }},
+	{"addchain-diff-bare-right", func(b *Builder, x, y *Term) *Term {
+		// (x + 5) - x = 5: the bare side splits with offset 0.
+		return b.Sub(b.Add(x, b.ConstInt64(5, ruleWidth)), x)
+	},
+		func(x, y *big.Int) *big.Int {
+			return refBinary(OpSub, ruleWidth, refBinary(OpAdd, ruleWidth, x, big.NewInt(5)), x)
+		},
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 5) }},
+	{"addchain-diff-bare-left", func(b *Builder, x, y *Term) *Term {
+		// x - (x + 5) = -5.
+		return b.Sub(x, b.Add(x, b.ConstInt64(5, ruleWidth)))
+	},
+		func(x, y *big.Int) *big.Int {
+			return refBinary(OpSub, ruleWidth, x, refBinary(OpAdd, ruleWidth, x, big.NewInt(5)))
+		},
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, -5) }},
+	{"addchain-diff-wrap", func(b *Builder, x, y *Term) *Term {
+		// Offsets that wrap at the width still fold exactly:
+		// (x + 250) - (x + 3) = 247 mod 256.
+		return b.Sub(b.Add(x, b.ConstInt64(250, ruleWidth)), b.Add(x, b.ConstInt64(3, ruleWidth)))
+	},
+		func(x, y *big.Int) *big.Int {
+			return refBinary(OpSub, ruleWidth,
+				refBinary(OpAdd, ruleWidth, x, big.NewInt(250)),
+				refBinary(OpAdd, ruleWidth, x, big.NewInt(3)))
+		},
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 247) }},
+	{"addchain-diff-neg-add", func(b *Builder, x, y *Term) *Term {
+		// The same difference spelled with explicit Add/Neg nodes:
+		// (x + 9) + (-(x + 2)) = 7.
+		return b.Add(b.Add(x, b.ConstInt64(9, ruleWidth)), b.Neg(b.Add(x, b.ConstInt64(2, ruleWidth))))
+	},
+		func(x, y *big.Int) *big.Int {
+			neg := new(big.Int).Neg(refBinary(OpAdd, ruleWidth, x, big.NewInt(2)))
+			return refBinary(OpAdd, ruleWidth, refBinary(OpAdd, ruleWidth, x, big.NewInt(9)),
+				neg.And(neg.Add(neg, new(big.Int).Lsh(big.NewInt(1), ruleWidth)), mask(ruleWidth)))
+		},
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 7) }},
+	{"addchain-diff-neg-left", func(b *Builder, x, y *Term) *Term {
+		// Mirror image: (-(x + 2)) + (x + 9) = 7.
+		return b.Add(b.Neg(b.Add(x, b.ConstInt64(2, ruleWidth))), b.Add(x, b.ConstInt64(9, ruleWidth)))
+	},
+		func(x, y *big.Int) *big.Int {
+			neg := new(big.Int).Neg(refBinary(OpAdd, ruleWidth, x, big.NewInt(2)))
+			return refBinary(OpAdd, ruleWidth,
+				neg.And(neg.Add(neg, new(big.Int).Lsh(big.NewInt(1), ruleWidth)), mask(ruleWidth)),
+				refBinary(OpAdd, ruleWidth, x, big.NewInt(9)))
+		},
+		func(b *Builder, x, y, got *Term) bool { return isConstVal(got, 7) }},
 
 	// Multiplicative / shift identities.
 	{"mul-zero", func(b *Builder, x, y *Term) *Term { return b.Mul(x, b.ConstInt64(0, ruleWidth)) },

@@ -12,8 +12,9 @@ package corpus
 //
 // Per-worker state is fully isolated — stats accumulate lock-free in
 // each worker's Checker and are reduced with core.Stats.Add at the end
-// — and per-file results are re-sequenced into archive order by a
-// deterministic in-order emitter before they touch the aggregate, so
+// — and per-file results are re-sequenced into archive order by the
+// shared deterministic in-order emitter (emit.Ordered) before they
+// touch the aggregate, so
 // every count and report in the merged SweepResult (including the
 // sorted report log) is byte-identical for any worker count. The only
 // fields outside that guarantee are BuildTime and AnalysisTime, which
@@ -49,6 +50,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/emit"
 	"repro/internal/ir"
 )
 
@@ -188,62 +190,39 @@ func (s *Sweeper) Run(ctx context.Context, pkgs []Package) (*SweepResult, error)
 	return s.RunStream(ctx, pkgs, nil)
 }
 
-// RunStream sweeps the archive and additionally calls emit (if
+// RunStream sweeps the archive and additionally calls emitFn (if
 // non-nil) once per file, in archive order, as soon as the file and
 // every earlier one have been checked — long before the whole archive
 // finishes. Results never accumulate beyond the files currently in
-// flight, so memory is O(Workers) regardless of archive size. emit
+// flight, so memory is O(Workers) regardless of archive size. emitFn
 // runs on the emitter goroutine; a slow callback backpressures the
 // pipeline rather than growing a buffer. The returned SweepResult is
 // byte-identical to Run's for any worker count.
-func (s *Sweeper) RunStream(ctx context.Context, pkgs []Package, emit func(FileResult)) (*SweepResult, error) {
+//
+// The in-order re-sequencing itself is emit.Ordered — the one shared
+// emitter implementation — with the feeder acquiring an admission slot
+// per file, so no more than 4*Workers files ever sit between the
+// feeder and delivery, even when one pathological file stalls a
+// checker while every other worker races ahead.
+func (s *Sweeper) RunStream(ctx context.Context, pkgs []Package, emitFn func(FileResult)) (*SweepResult, error) {
 	workers := s.workerCount()
 	acc := newAccumulator(pkgs)
-	resCh := make(chan fileResult, workers)
-	// window is the admission semaphore that makes the O(Workers)
-	// memory claim true rather than merely likely: the feeder acquires
-	// a slot per file and the emitter releases it when the file is
-	// emitted in order, so no more than cap(window) files can sit
-	// between the feeder and the emitter — even when one pathological
-	// file stalls a checker while every other worker races ahead.
-	window := make(chan struct{}, 4*workers)
-	emitterDone := make(chan struct{})
-	go func() {
-		// Deterministic in-order emitter: results arrive in completion
-		// order and are re-sequenced by archive index. pending holds
-		// only files that finished ahead of a still-running earlier
-		// file, bounded by the admission window.
-		defer close(emitterDone)
-		next := 0
-		pending := make(map[int]fileResult, workers)
-		for r := range resCh {
-			pending[r.idx] = r
-			for {
-				fr, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
-				acc.add(fr)
-				if emit != nil {
-					emit(FileResult{
-						Index:        fr.idx,
-						Package:      pkgs[fr.pkgIdx].Name,
-						File:         fr.name,
-						Functions:    fr.funcs,
-						Reports:      fr.reports,
-						BuildTime:    fr.buildTime,
-						AnalysisTime: fr.analysisTime,
-					})
-				}
-				next++
-				<-window
-			}
+	ord := emit.NewOrdered(4*workers, func(_ int, fr fileResult) {
+		acc.add(fr)
+		if emitFn != nil {
+			emitFn(FileResult{
+				Index:        fr.idx,
+				Package:      pkgs[fr.pkgIdx].Name,
+				File:         fr.name,
+				Functions:    fr.funcs,
+				Reports:      fr.reports,
+				BuildTime:    fr.buildTime,
+				AnalysisTime: fr.analysisTime,
+			})
 		}
-	}()
-	workerStats, err := s.runPipelineWindowed(ctx, pkgs, workers, window, func(r fileResult) { resCh <- r })
-	close(resCh)
-	<-emitterDone
+	})
+	workerStats, err := s.runPipeline(ctx, pkgs, workers, ord.Admit, func(r fileResult) { ord.Put(r.idx, r) })
+	ord.Close()
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +239,7 @@ func (s *Sweeper) runBuffered(ctx context.Context, pkgs []Package) (*SweepResult
 		files += len(p.Files)
 	}
 	results := make([]fileResult, files) // disjoint per-index writes
-	workerStats, err := s.runPipelineWindowed(ctx, pkgs, workers, nil, func(r fileResult) { results[r.idx] = r })
+	workerStats, err := s.runPipeline(ctx, pkgs, workers, nil, func(r fileResult) { results[r.idx] = r })
 	if err != nil {
 		return nil, err
 	}
@@ -271,16 +250,16 @@ func (s *Sweeper) runBuffered(ctx context.Context, pkgs []Package) (*SweepResult
 	return acc.finish(workerStats), nil
 }
 
-// runPipelineWindowed runs the feeder→build→check stages over the
-// archive, invoking deliver from check workers (possibly concurrently)
-// for each finished file. When window is non-nil the feeder acquires a
-// slot from it per file before feeding (the streaming emitter releases
-// slots as it advances), bounding the files in flight. It returns the
+// runPipeline runs the feeder→build→check stages over the archive,
+// invoking deliver from check workers (possibly concurrently) for each
+// finished file. When admit is non-nil the feeder calls it per file
+// before feeding (the streaming emitter's admission window; slots free
+// as delivery advances), bounding the files in flight. It returns the
 // per-worker checker stats and the first error; on error the pipeline
 // shuts down without deadlocking (feeder and builders select on the
-// stop channel — including the feeder's window acquisition) and
-// undelivered files are simply absent.
-func (s *Sweeper) runPipelineWindowed(ctx context.Context, pkgs []Package, workers int, window chan struct{}, deliver func(fileResult)) ([]core.Stats, error) {
+// stop channel — which admit also observes) and undelivered files are
+// simply absent.
+func (s *Sweeper) runPipeline(ctx context.Context, pkgs []Package, workers int, admit func(stop <-chan struct{}) bool, deliver func(fileResult)) ([]core.Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -372,12 +351,8 @@ func (s *Sweeper) runPipelineWindowed(ctx context.Context, pkgs []Package, worke
 	go func() {
 		defer close(jobCh)
 		for _, j := range jobs {
-			if window != nil {
-				select {
-				case window <- struct{}{}:
-				case <-stop:
-					return
-				}
+			if admit != nil && !admit(stop) {
+				return
 			}
 			select {
 			case jobCh <- j:

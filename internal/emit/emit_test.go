@@ -1,0 +1,116 @@
+package emit
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOrderedDelivery: results Put in a scrambled order are delivered
+// strictly in increasing index order, with no gaps and no duplicates.
+func TestOrderedDelivery(t *testing.T) {
+	const n = 500
+	var got []int
+	o := NewOrdered(n, func(idx int, v int) {
+		if v != idx*3 {
+			t.Errorf("index %d delivered value %d, want %d", idx, v, idx*3)
+		}
+		got = append(got, idx)
+	})
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < n; j += 8 {
+				idx := perm[j]
+				o.Admit(nil)
+				o.Put(idx, idx*3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	o.Close()
+	if len(got) != n {
+		t.Fatalf("delivered %d results, want %d", len(got), n)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("delivery %d has index %d; order must be strictly increasing from 0", i, idx)
+		}
+	}
+}
+
+// TestOrderedWindowBound: with window W and delivery stalled at index
+// 0, the (W+1)-th Admit blocks until a slot frees.
+func TestOrderedWindowBound(t *testing.T) {
+	const window = 4
+	o := NewOrdered(window, func(int, struct{}) {})
+	// Fill the window without ever producing index 0: delivery stalls,
+	// so no slot is released.
+	for i := 0; i < window; i++ {
+		o.Admit(nil)
+		if i > 0 {
+			o.Put(i, struct{}{})
+		}
+	}
+	admitted := make(chan struct{})
+	go func() {
+		o.Admit(nil)
+		close(admitted)
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("Admit beyond the window succeeded while delivery was stalled")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Producing index 0 unblocks the whole prefix; all slots free.
+	o.Put(0, struct{}{})
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Admit still blocked after the window drained")
+	}
+	o.Put(window, struct{}{})
+	o.Close()
+}
+
+// TestOrderedStop: a closed stop channel fails Admit without consuming
+// a slot.
+func TestOrderedStop(t *testing.T) {
+	o := NewOrdered(1, func(int, int) {})
+	stop := make(chan struct{})
+	o.Admit(stop) // occupy the only slot; index 0 never produced
+	close(stop)
+	if o.Admit(stop) {
+		t.Fatal("Admit succeeded after stop closed with a full window")
+	}
+	o.Close()
+}
+
+// TestOrderedDrainWithGap: Close returns even when an admitted index
+// was never Put, delivering only the contiguous prefix — the
+// error-shutdown drain semantics.
+func TestOrderedDrainWithGap(t *testing.T) {
+	var got []int
+	o := NewOrdered(8, func(idx int, _ struct{}) { got = append(got, idx) })
+	for i := 0; i < 4; i++ {
+		o.Admit(nil)
+	}
+	o.Put(0, struct{}{})
+	// Index 1 is the gap; 2 and 3 finished out of order.
+	o.Put(2, struct{}{})
+	o.Put(3, struct{}{})
+	done := make(chan struct{})
+	go func() { o.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked on a gapped sequence")
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("delivered %v, want exactly the contiguous prefix [0]", got)
+	}
+}

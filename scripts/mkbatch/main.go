@@ -1,0 +1,39 @@
+// Command mkbatch builds a /v1/sweep request body from C files on the
+// command line: {"sources": [{"name": <path>, "source": <contents>},
+// ...]}. The service smoke script uses it so the raw-POST check needs
+// no JSON tooling on the host.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type source struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mkbatch file.c...")
+		os.Exit(2)
+	}
+	batch := struct {
+		Sources []source `json:"sources"`
+	}{}
+	for _, path := range os.Args[1:] {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkbatch: %v\n", err)
+			os.Exit(1)
+		}
+		batch.Sources = append(batch.Sources, source{Name: path, Source: string(text)})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(batch); err != nil {
+		fmt.Fprintf(os.Stderr, "mkbatch: %v\n", err)
+		os.Exit(1)
+	}
+}

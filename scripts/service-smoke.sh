@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the stackd v2 batch/streaming surface:
+#
+#   1. build stackd + the stack CLI;
+#   2. start TWO stackd replicas;
+#   3. run the same inputs locally and through
+#      `stack -remote replica1,replica2` (sharded round-robin) in both
+#      text and jsonl formats, and require byte-identical output — the
+#      acceptance bar of the remote/sharded API;
+#   4. POST a raw /v1/sweep batch (curl, when available) and diff the
+#      JSONL stream against the local sink output.
+#
+# Run via `make service-smoke`; CI runs it on every push.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building stack + stackd"
+go build -o "$workdir/stack" ./cmd/stack
+go build -o "$workdir/stackd" ./cmd/stackd
+
+# Deterministic inputs: solver effort is bounded by conflicts, not
+# wall clock, so local and remote runs cannot diverge under load.
+cat > "$workdir/fig1.c" <<'EOF'
+int parse_header(char *buf, char *buf_end, unsigned int len) {
+	if (buf + len >= buf_end)
+		return -1;
+	if (buf + len < buf)
+		return -1;
+	return 0;
+}
+EOF
+cat > "$workdir/div.c" <<'EOF'
+int scale(int x, int y) {
+	int q = x / y;
+	if (y == 0)
+		return -1;
+	return q;
+}
+EOF
+cat > "$workdir/clean.c" <<'EOF'
+int f(void) { return 0; }
+EOF
+inputs=("$workdir/fig1.c" "$workdir/div.c" "$workdir/clean.c" "$workdir/fig1.c")
+
+port1=${STACKD_SMOKE_PORT1:-18591}
+port2=${STACKD_SMOKE_PORT2:-18592}
+echo "== starting two stackd replicas on :$port1 and :$port2"
+"$workdir/stackd" -addr "127.0.0.1:$port1" -timeout 0 &
+pids+=($!)
+"$workdir/stackd" -addr "127.0.0.1:$port2" -timeout 0 &
+pids+=($!)
+
+wait_port() {
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then
+            exec 3>&- 3<&-
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "replica on :$1 never came up" >&2
+    return 1
+}
+wait_port "$port1"
+wait_port "$port2"
+
+# The stack CLI exits 1 when diagnostics are found — expected here.
+run_stack() {
+    set +e
+    "$workdir/stack" "$@"
+    status=$?
+    set -e
+    if [ "$status" -ne 0 ] && [ "$status" -ne 1 ]; then
+        echo "stack $* exited $status" >&2
+        exit 1
+    fi
+}
+
+echo "== local vs sharded 2-replica remote: text"
+run_stack -timeout 0 "${inputs[@]}" > "$workdir/local.txt"
+run_stack -remote "127.0.0.1:$port1,127.0.0.1:$port2" "${inputs[@]}" > "$workdir/remote.txt"
+diff -u "$workdir/local.txt" "$workdir/remote.txt"
+
+echo "== local vs sharded 2-replica remote: jsonl"
+run_stack -timeout 0 -format jsonl "${inputs[@]}" > "$workdir/local.jsonl"
+run_stack -remote "127.0.0.1:$port1,127.0.0.1:$port2" -format jsonl "${inputs[@]}" > "$workdir/remote.jsonl"
+diff -u "$workdir/local.jsonl" "$workdir/remote.jsonl"
+
+if command -v curl >/dev/null 2>&1; then
+    echo "== raw POST /v1/sweep vs local jsonl sink"
+    # Build the batch body with the same display names the CLI used
+    # (the file paths), so the streams are comparable byte for byte.
+    go run ./scripts/mkbatch "${inputs[@]}" > "$workdir/batch.json"
+    curl -sS -X POST --data-binary "@$workdir/batch.json" \
+        "http://127.0.0.1:$port1/v1/sweep?format=jsonl" > "$workdir/sweep.jsonl"
+    diff -u "$workdir/local.jsonl" "$workdir/sweep.jsonl"
+else
+    echo "== curl not installed; skipping the raw /v1/sweep POST check"
+fi
+
+echo "== service smoke OK"

@@ -1,0 +1,190 @@
+// Package client implements stack.Checker over HTTP against a stackd
+// replica: the remote half of the v2 batch/archive API. A Client is a
+// drop-in for *stack.Analyzer anywhere a Checker is accepted — the
+// CLIs' -remote mode, the stack/shard dispatcher, the service itself —
+// and preserves the streaming contract end to end: /v1/sweep responses
+// are decoded line by line as they arrive, so the caller's emit
+// callback observes each file's result while later files are still
+// being analyzed on the server.
+//
+// Analysis options (solver timeout, conflict budget, workers) are the
+// replica's: they were fixed when its stackd was started. The client
+// only carries sources over and results back, which is what makes a
+// remote run byte-identical to a local one configured the same way.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/stack"
+)
+
+// Client is an HTTP stack.Checker speaking the stackd v2 API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+var _ stack.Checker = (*Client)(nil)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (for custom
+// transports, TLS, or test doubles). The default is a plain
+// &http.Client{} — no client-side timeout, so a long sweep streams
+// for as long as the request context allows.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a Client for the replica at base — "host:port",
+// "http://host:port", or a full URL prefix. A bare host defaults to
+// http.
+func New(base string, opts ...Option) *Client {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{base: base, hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// StatusError is a non-2xx answer from the replica, carrying the
+// decoded error message and the HTTP status.
+type StatusError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("stackd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// post issues one JSON POST and returns the response, translating
+// non-2xx statuses into *StatusError.
+func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	enc, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(enc))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); err == nil {
+			if json.Unmarshal(b, &e) == nil && e.Error != "" {
+				msg = e.Error
+			}
+		}
+		return nil, &StatusError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return resp, nil
+}
+
+// CheckSource analyzes one source on the replica via POST /v1/analyze.
+func (c *Client) CheckSource(ctx context.Context, name, src string) (*stack.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	resp, err := c.post(ctx, "/v1/analyze", map[string]string{"name": name, "source": src})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var res stack.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("decoding analyze response: %w", err)
+	}
+	return &res, nil
+}
+
+// sweepSource mirrors the service's batch entry.
+type sweepSource struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// sweepLine is one decoded line of a /v1/sweep JSONL stream: a
+// per-file result, the final stats trailer, or an error trailer.
+type sweepLine struct {
+	stack.FileResult
+	Stats *stack.Stats `json:"stats"`
+	Error string       `json:"error"`
+}
+
+// CheckSources analyzes a batch on the replica via POST /v1/sweep,
+// streaming the JSONL response: emit observes each file's result as
+// its line arrives — in input order, while the server is still
+// sweeping later files. The stats trailer the server appends becomes
+// the returned Stats.
+func (c *Client) CheckSources(ctx context.Context, srcs []stack.Source, emit func(stack.FileResult)) (stack.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(srcs) == 0 {
+		return stack.Stats{}, nil
+	}
+	batch := make([]sweepSource, len(srcs))
+	for i, s := range srcs {
+		batch[i] = sweepSource{Name: s.Name, Source: s.Text}
+	}
+	resp, err := c.post(ctx, "/v1/sweep?format=jsonl&stats=1", map[string]any{"sources": batch})
+	if err != nil {
+		return stack.Stats{}, err
+	}
+	defer resp.Body.Close()
+
+	var st stack.Stats
+	// json.Decoder consumes concatenated JSON values as they arrive on
+	// the socket, so decoding keeps pace with the server's per-file
+	// flushes rather than waiting for EOF.
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line sweepLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			// A context abort surfaces as a read error wrapped by the
+			// decoder; prefer the causal ctx error.
+			if ctx.Err() != nil {
+				return st, ctx.Err()
+			}
+			return st, fmt.Errorf("decoding sweep stream: %w", err)
+		}
+		switch {
+		case line.Error != "":
+			// The server's mid-stream error trailer carries the failing
+			// source's name, same as a local CheckSources error.
+			return st, errors.New(line.Error)
+		case line.Stats != nil:
+			st = *line.Stats
+		default:
+			if emit != nil {
+				emit(line.FileResult)
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,25 +1,43 @@
 // Package service implements the stackd analysis service: the STACK
 // checker behind an HTTP API, the shape the paper's whole-archive
 // evaluation (§6.4) implies for production use — per-query time
-// budgets, machine-consumable results, bounded concurrency.
+// budgets, machine-consumable results, bounded concurrency, and
+// streaming batch analysis.
 //
-// Endpoints:
+// Endpoints (v2 surface):
 //
 //	POST /v1/analyze  {"name": "file.c", "source": "..."}
 //	                  → 200 {"file": ..., "diagnostics": [...], "stats": {...}}
+//	POST /v1/sweep    {"sources": [{"name": "a.c", "source": "..."}, ...]}
+//	                  → 200, one JSON line per source streamed in input
+//	                    order, flushed as each file completes — the
+//	                    first diagnostic is on the wire long before the
+//	                    sweep finishes. ?format=jsonl|text|sarif selects
+//	                    the encoding (default jsonl; the JSONL bytes are
+//	                    identical to stack.NewJSONLSink); ?stats=1
+//	                    appends a final {"stats": {...}} trailer line
+//	                    with the aggregated solver metrics (RewriteHits,
+//	                    BlastPasses, LearntsReused, ...) to the JSONL
+//	                    stream.
 //	GET  /healthz     → 200 {"status": "ok"}
 //
-// Analysis runs under the request's context capped by the configured
-// per-request timeout, so a cancelled client or an expired budget
-// aborts the solver within one check interval. A semaphore bounds
-// concurrent analyses; saturation answers 503 with Retry-After rather
-// than queueing unboundedly.
+// Non-POST methods on the analysis endpoints answer 405 with an Allow
+// header. Analysis runs under the request's context capped by the
+// configured per-request timeout, so a cancelled client or an expired
+// budget aborts the solver within one check interval. A semaphore
+// bounds concurrent requests; saturation answers 503 with Retry-After
+// rather than queueing unboundedly.
+//
+// The server runs any stack.Checker — normally the in-process
+// *stack.Analyzer, but a stack/shard dispatcher slots in unchanged,
+// turning one stackd into a fan-out front for a replica fleet.
 package service
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"runtime"
@@ -30,41 +48,60 @@ import (
 
 // Options configures a Server.
 type Options struct {
-	// MaxConcurrent bounds simultaneous analyses; <= 0 means one per
-	// CPU.
+	// MaxConcurrent bounds simultaneous requests under analysis; <= 0
+	// means one per CPU.
 	MaxConcurrent int
-	// RequestTimeout caps each analysis; 0 means no cap beyond the
-	// client's own context.
+	// RequestTimeout caps each request's analysis; 0 means no cap
+	// beyond the client's own context.
 	RequestTimeout time.Duration
-	// MaxSourceBytes caps the request body; <= 0 means 4 MiB.
+	// MaxSourceBytes caps the /v1/analyze request body; <= 0 means
+	// 4 MiB.
 	MaxSourceBytes int64
+	// MaxSweepBytes caps the /v1/sweep request body (the whole batch);
+	// <= 0 means 64 MiB.
+	MaxSweepBytes int64
+	// MaxSweepSources caps the number of sources per sweep batch; <= 0
+	// means 4096.
+	MaxSweepSources int
 }
 
-const defaultMaxSourceBytes = 4 << 20
+const (
+	defaultMaxSourceBytes  = 4 << 20
+	defaultMaxSweepBytes   = 64 << 20
+	defaultMaxSweepSources = 4096
+)
 
-// Server serves the analysis API over one shared Analyzer.
+// Server serves the analysis API over one shared Checker.
 type Server struct {
-	az   *stack.Analyzer
+	chk  stack.Checker
 	opts Options
 	sem  chan struct{}
 	mux  *http.ServeMux
 }
 
-// New returns a Server exposing az.
-func New(az *stack.Analyzer, opts Options) *Server {
+// New returns a Server exposing chk — usually a *stack.Analyzer, but
+// any Checker (a stack/shard dispatcher, a test stub) serves.
+func New(chk stack.Checker, opts Options) *Server {
 	if opts.MaxConcurrent <= 0 {
 		opts.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
 	if opts.MaxSourceBytes <= 0 {
 		opts.MaxSourceBytes = defaultMaxSourceBytes
 	}
+	if opts.MaxSweepBytes <= 0 {
+		opts.MaxSweepBytes = defaultMaxSweepBytes
+	}
+	if opts.MaxSweepSources <= 0 {
+		opts.MaxSweepSources = defaultMaxSweepSources
+	}
 	s := &Server{
-		az:   az,
+		chk:  chk,
 		opts: opts,
 		sem:  make(chan struct{}, opts.MaxConcurrent),
 		mux:  http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -79,6 +116,19 @@ type analyzeRequest struct {
 	Name string `json:"name"`
 	// Source is the C translation unit to analyze.
 	Source string `json:"source"`
+}
+
+// sweepSource is one entry of a /v1/sweep batch.
+type sweepSource struct {
+	// Name is the display name (default "inputN.c" by position).
+	Name string `json:"name"`
+	// Source is the C translation unit.
+	Source string `json:"source"`
+}
+
+// sweepRequest is the /v1/sweep request body.
+type sweepRequest struct {
+	Sources []sweepSource `json:"sources"`
 }
 
 type errorResponse struct {
@@ -102,22 +152,70 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// rejectNonPOST answers 405 with an Allow header for anything but
+// POST. The analysis endpoints share it.
+func rejectNonPOST(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodPost {
+		return false
+	}
+	w.Header().Set("Allow", "POST")
+	writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"method not allowed; POST a JSON body"})
+	return true
+}
+
+// readBody reads at most limit bytes of the request body, rejecting
+// the request itself when it is larger. A false return means the
+// response has been written.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"reading request body: " + err.Error()})
+		return nil, false
+	}
+	if int64(len(body)) > limit {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{"request body exceeds size limit"})
+		return nil, false
+	}
+	return body, true
+}
+
+// admit claims an analysis slot, answering 503 when saturated. The
+// returned release func is nil if admission failed.
+func (s *Server) admit(w http.ResponseWriter) func() {
+	// Admission control: a full semaphore answers 503 immediately so a
+	// saturated service sheds load instead of queueing requests whose
+	// deadlines would expire anyway.
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"analysis capacity saturated; retry"})
+		return nil
+	}
+}
+
+// requestCtx derives the analysis context from the request, applying
+// the per-request timeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.opts.RequestTimeout)
+	}
+	return ctx, func() {}
+}
+
+// handleAnalyze is the single-file endpoint: a thin wrapper that runs
+// one source through the Checker and answers with the whole Result.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", "POST")
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"method not allowed; POST a JSON body"})
+	if rejectNonPOST(w, r) {
 		return
 	}
 	// Read and validate the body before admission control, so a
 	// slow-body client cannot occupy an analysis slot while the bytes
 	// trickle in.
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxSourceBytes+1))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"reading request body: " + err.Error()})
-		return
-	}
-	if int64(len(body)) > s.opts.MaxSourceBytes {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{"request body exceeds source size limit"})
+	body, ok := readBody(w, r, s.opts.MaxSourceBytes)
+	if !ok {
 		return
 	}
 	var req analyzeRequest
@@ -133,28 +231,26 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		req.Name = "input.c"
 	}
 
-	// Admission control: a full semaphore answers 503 immediately so a
-	// saturated service sheds load instead of queueing requests whose
-	// deadlines would expire anyway.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	default:
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"analysis capacity saturated; retry"})
+	release := s.admit(w)
+	if release == nil {
 		return
 	}
+	defer release()
 
-	ctx := r.Context()
-	if s.opts.RequestTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
-		defer cancel()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := s.chk.CheckSource(ctx, req.Name, req.Source)
+	if err != nil {
+		writeAnalysisError(w, err)
+		return
 	}
-	res, err := s.az.CheckSource(ctx, req.Name, req.Source)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// writeAnalysisError maps an analysis error to a status, assuming no
+// response bytes have been written yet.
+func writeAnalysisError(w http.ResponseWriter, err error) {
 	switch {
-	case err == nil:
-		writeJSON(w, http.StatusOK, res)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{"analysis exceeded the request time budget"})
 	case errors.Is(err, context.Canceled):
@@ -166,4 +262,160 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// fault.
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
 	}
+}
+
+// streamWriter defers the 200 header until the first byte of sink
+// output, so analysis errors that strike before anything is written
+// still get a proper error status, and flushes on demand so each
+// file's result goes on the wire as it completes.
+type streamWriter struct {
+	w           http.ResponseWriter
+	contentType string
+	started     bool
+	err         error
+}
+
+func (sw *streamWriter) Write(p []byte) (int, error) {
+	if sw.err != nil {
+		return 0, sw.err
+	}
+	if !sw.started {
+		sw.w.Header().Set("Content-Type", sw.contentType)
+		sw.w.WriteHeader(http.StatusOK)
+		sw.started = true
+	}
+	n, err := sw.w.Write(p)
+	if err != nil {
+		sw.err = err
+	}
+	return n, err
+}
+
+func (sw *streamWriter) flush() {
+	if f, ok := sw.w.(http.Flusher); ok && sw.started {
+		f.Flush()
+	}
+}
+
+// sweepContentTypes maps ?format= values to sink constructors and
+// content types.
+var sweepFormats = map[string]struct {
+	contentType string
+	newSink     func(io.Writer) stack.Sink
+}{
+	"jsonl": {"application/jsonl", stack.NewJSONLSink},
+	"text":  {"text/plain; charset=utf-8", stack.NewTextSink},
+	"sarif": {"application/sarif+json", stack.NewSARIFSink},
+}
+
+// handleSweep is the batch endpoint: the whole batch streams through
+// the Checker's in-order emitter into a sink, one result on the wire
+// per finished file.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if rejectNonPOST(w, r) {
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "jsonl"
+	}
+	ff, ok := sweepFormats[format]
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("unknown format %q (want jsonl, text, or sarif)", format)})
+		return
+	}
+	wantStats := r.URL.Query().Get("stats") == "1"
+	if wantStats && format != "jsonl" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"stats=1 requires format=jsonl"})
+		return
+	}
+	body, ok := readBody(w, r, s.opts.MaxSweepBytes)
+	if !ok {
+		return
+	}
+	var req sweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"decoding request: " + err.Error()})
+		return
+	}
+	if len(req.Sources) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{`missing "sources"`})
+		return
+	}
+	if len(req.Sources) > s.opts.MaxSweepSources {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{fmt.Sprintf("batch of %d sources exceeds the %d-source limit", len(req.Sources), s.opts.MaxSweepSources)})
+		return
+	}
+	srcs := make([]stack.Source, len(req.Sources))
+	for i, src := range req.Sources {
+		if src.Source == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(`sources[%d]: missing "source"`, i)})
+			return
+		}
+		name := src.Name
+		if name == "" {
+			name = fmt.Sprintf("input%d.c", i)
+		}
+		srcs[i] = stack.Source{Name: name, Text: src.Source}
+	}
+
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	sw := &streamWriter{w: w, contentType: ff.contentType}
+	sink := ff.newSink(sw)
+	var sinkErr error
+	st, err := s.chk.CheckSources(ctx, srcs, func(fr stack.FileResult) {
+		if sinkErr != nil {
+			return
+		}
+		if e := sink.Emit(fr); e != nil {
+			sinkErr = e
+			return
+		}
+		// Flush after every file: the client sees each result the
+		// moment it (and everything before it) is done — streaming,
+		// not buffer-then-flush.
+		sw.flush()
+	})
+	if err != nil {
+		if !sw.started {
+			// Nothing on the wire yet (the error struck before the
+			// first result, or the format buffers until Close): answer
+			// with a proper status.
+			writeAnalysisError(w, err)
+			return
+		}
+		// Mid-stream failure: the 200 is history, so append an error
+		// trailer in the stream's own framing.
+		switch format {
+		case "jsonl":
+			_ = json.NewEncoder(sw).Encode(errorResponse{err.Error()})
+		case "text":
+			fmt.Fprintf(sw, "error: %v\n", err)
+		}
+		sw.flush()
+		return
+	}
+	if err := sink.Close(); err == nil && wantStats {
+		// Aggregated effort for the whole batch, Figure 16-style,
+		// including the rewrite/incremental solver metrics
+		// (RewriteHits, BlastPasses, LearntsReused).
+		_ = json.NewEncoder(sw).Encode(statsTrailer{Stats: &st})
+	}
+	sw.flush()
+}
+
+// statsTrailer is the optional final JSONL line of a sweep response.
+// Its single "stats" key distinguishes it from per-file lines, which
+// always carry "file".
+type statsTrailer struct {
+	Stats *stack.Stats `json:"stats"`
 }

@@ -1,0 +1,226 @@
+// Package shard fans analysis across N replicas behind one
+// stack.Checker: the scaling shape of the paper's §6.4 whole-archive
+// run, where 8,575 packages saturated a single 16-core machine —
+// here each replica is any Checker (a stack/client against a remote
+// stackd, or an in-process *stack.Analyzer), so a fleet of stackd
+// replicas checks one batch cooperatively.
+//
+// Sources are dealt round-robin by input index, each replica streams
+// its own subset in subset order, and the dispatcher re-sequences the
+// interleaved streams through the shared in-order emitter
+// (internal/emit) — the same machinery underneath corpus.Sweeper and
+// stack.CheckSources — so the caller observes exactly the local
+// contract: strictly increasing input indices, O(replicas) results
+// buffered, first error in input order wins. A sharded run is
+// byte-identical to a local single-process run on the same inputs
+// and options.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	inorder "repro/internal/emit"
+	"repro/stack"
+	"repro/stack/client"
+)
+
+// Dispatcher implements stack.Checker over a set of replicas.
+type Dispatcher struct {
+	replicas []stack.Checker
+	// windowPerReplica bounds the emitter's buffering (see
+	// CheckSources); fixed at construction.
+	windowPerReplica int
+}
+
+var _ stack.Checker = (*Dispatcher)(nil)
+
+// New returns a Dispatcher over the given replicas. It panics on an
+// empty replica set: there is nowhere to send work, and the zero-value
+// misuse should fail at construction, not on the first request.
+func New(replicas ...stack.Checker) *Dispatcher {
+	if len(replicas) == 0 {
+		panic("shard: New needs at least one replica")
+	}
+	return &Dispatcher{replicas: replicas, windowPerReplica: 4}
+}
+
+// FromHosts returns a Dispatcher of stack/client replicas for a
+// comma-separated address list — the translation behind every CLI's
+// -remote flag, kept in one place. Empty elements are skipped; an
+// effectively empty list is an error.
+func FromHosts(list string) (*Dispatcher, error) {
+	var replicas []stack.Checker
+	for _, h := range strings.Split(list, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			replicas = append(replicas, client.New(h))
+		}
+	}
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("replica list %q names no addresses", list)
+	}
+	return New(replicas...), nil
+}
+
+// CheckSource routes one source to a replica chosen by name hash, so
+// repeated analyses of the same file land on the same replica (warm
+// caches), while distinct names spread across the fleet.
+func (d *Dispatcher) CheckSource(ctx context.Context, name, src string) (*stack.Result, error) {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return d.replicas[h.Sum32()%uint32(len(d.replicas))].CheckSource(ctx, name, src)
+}
+
+// CheckSources deals the batch round-robin across the replicas
+// (replica r gets input indices r, r+N, r+2N, ...), runs every
+// replica's own streaming CheckSources concurrently, and re-sequences
+// the replies into global input order through the shared emitter.
+// emit observes strictly increasing input indices as soon as each
+// source and every earlier one has finished — across the whole fleet.
+//
+// On failure the dispatcher cancels the other replicas, emission
+// stops at the earliest failed input index, and that error (already
+// carrying the source name) is returned. The returned Stats sum the
+// replicas' stats for the sources that were analyzed.
+func (d *Dispatcher) CheckSources(ctx context.Context, srcs []stack.Source, emit func(stack.FileResult)) (stack.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(srcs) == 0 {
+		return stack.Stats{}, nil
+	}
+	n := len(d.replicas)
+	if n > len(srcs) {
+		n = len(srcs)
+	}
+	if n == 1 {
+		return d.replicas[0].CheckSources(ctx, srcs, emit)
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// stop unblocks replicas waiting for admission slots once another
+	// replica has failed — the slot they wait for may belong to a
+	// result that will now never arrive.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	fail := func() {
+		stopOnce.Do(func() {
+			close(stop)
+			cancel()
+		})
+	}
+
+	// Admission must be budgeted PER REPLICA, not just globally: the
+	// feeder-style users of emit.Ordered admit in global index order,
+	// so the earliest undelivered index always holds a slot — but
+	// replicas admit in their own completion order, and a fast replica
+	// could otherwise consume the entire shared window on indices
+	// after a gap while the slow replica owning the gap starves in
+	// Admit forever (delivery can't advance past the gap, so no slot
+	// would ever free). With a per-replica quota the gap's owner holds
+	// zero slots exactly when it needs one — everything it emitted
+	// earlier has already been delivered — so it always proceeds and
+	// delivery always advances. The quota frees on delivery, before
+	// the emitter's own window slot, so the shared Admit below blocks
+	// at most transiently.
+	quota := make([]chan struct{}, n)
+	for r := range quota {
+		quota[r] = make(chan struct{}, d.windowPerReplica)
+	}
+	ord := inorder.NewOrdered(d.windowPerReplica*n, func(idx int, fr stack.FileResult) {
+		if emit != nil {
+			emit(fr)
+		}
+		<-quota[idx%n] // round-robin dealing: index i belongs to replica i%n
+	})
+
+	type replicaOutcome struct {
+		stats stack.Stats
+		err   error
+		// failIdx is the global input index at which this replica's
+		// stream broke (len(srcs) when it finished cleanly); the
+		// earliest one across replicas is the batch's first error.
+		failIdx int
+	}
+	outcomes := make([]replicaOutcome, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		// Replica r's subset, with globals[j] the original index of its
+		// j-th source. Each replica emits its subset in subset order,
+		// so the j-th callback is exactly subset source j.
+		var subset []stack.Source
+		var globals []int
+		for i := r; i < len(srcs); i += n {
+			subset = append(subset, srcs[i])
+			globals = append(globals, i)
+		}
+		wg.Add(1)
+		go func(r int, subset []stack.Source, globals []int) {
+			defer wg.Done()
+			emitted := 0
+			st, err := d.replicas[r].CheckSources(ctx, subset, func(fr stack.FileResult) {
+				select {
+				case quota[r] <- struct{}{}:
+				case <-stop:
+					return // another replica failed; drop the tail
+				}
+				if !ord.Admit(stop) {
+					<-quota[r]
+					return
+				}
+				g := globals[fr.Index]
+				fr.Index = g
+				ord.Put(g, fr)
+				emitted++
+			})
+			o := replicaOutcome{stats: st, err: err, failIdx: len(srcs)}
+			if err != nil {
+				if emitted < len(globals) {
+					o.failIdx = globals[emitted]
+				}
+				fail()
+			}
+			outcomes[r] = o
+		}(r, subset, globals)
+	}
+	wg.Wait()
+	ord.Close()
+
+	var st stack.Stats
+	for _, o := range outcomes {
+		st.Add(o.stats)
+	}
+	// First error in input order wins — but a replica cancelled BY the
+	// dispatcher (we tore the shared context down after another
+	// replica's failure) is a casualty, not a cause, and must not
+	// shadow the root error. When the caller's own context was
+	// cancelled, cancellations are genuine and any of them serves.
+	secondary := func(err error) bool {
+		return errors.Is(err, context.Canceled) && parent.Err() == nil
+	}
+	var firstErr error
+	firstIdx := len(srcs) + 1
+	for _, o := range outcomes {
+		if o.err == nil || secondary(o.err) {
+			continue
+		}
+		if o.failIdx < firstIdx {
+			firstErr, firstIdx = o.err, o.failIdx
+		}
+	}
+	if firstErr == nil {
+		for _, o := range outcomes {
+			if o.err != nil {
+				firstErr = o.err
+				break
+			}
+		}
+	}
+	return st, firstErr
+}

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
+	inorder "repro/internal/emit"
 	"repro/internal/ir"
 )
 
@@ -242,9 +243,10 @@ func (a *Analyzer) CheckFile(ctx context.Context, path string) (*Result, error) 
 // CheckSources analyzes several sources concurrently (the Workers
 // option sets the pool size) and calls emit once per source, in input
 // order, as soon as that source and every earlier one have finished —
-// the same in-order streaming discipline as the archive sweep, with
-// O(Workers) results buffered at any moment. Diagnostics are identical
-// for every worker count.
+// the same in-order streaming discipline as the archive sweep (both
+// run on the shared emitter, emit.Ordered), with O(Workers) results
+// buffered at any moment. Diagnostics are identical for every worker
+// count.
 //
 // On the first error (in input order) emission stops and the error,
 // annotated with the source name, is returned; sources after the
@@ -266,21 +268,37 @@ func (a *Analyzer) CheckSources(ctx context.Context, srcs []Source, emit func(Fi
 	}
 
 	type outcome struct {
-		idx   int
 		diags []Diagnostic
 		err   error
 	}
+	// Delivery runs on the emitter goroutine, strictly in input order;
+	// firstErr needs no lock because only that goroutine touches it.
+	var firstErr error
+	ord := inorder.NewOrdered(4*workers, func(idx int, o outcome) {
+		if firstErr != nil {
+			return
+		}
+		if o.err != nil {
+			firstErr = fmt.Errorf("%s: %w", srcs[idx].Name, o.err)
+			return
+		}
+		if emit != nil {
+			emit(FileResult{
+				Index:       idx,
+				File:        srcs[idx].Name,
+				Diagnostics: o.diags,
+			})
+		}
+	})
 	workerStats := make([]core.Stats, workers)
 	idxCh := make(chan int)
-	outCh := make(chan outcome, workers)
-	// The admission window caps how far workers run ahead of a slow
-	// early source, bounding the pending map at O(workers).
-	window := make(chan struct{}, 4*workers)
 	// failedIdx holds the smallest input index that has errored so
 	// far. Skipping strictly later indices (never earlier ones) keeps
 	// the fail-fast path race-free: a source before the first error is
 	// always analyzed and emitted, even if its worker observes the
-	// failure flag after dequeuing it.
+	// failure flag after dequeuing it. Skipped indices still Put an
+	// empty outcome, so the delivery sequence has no gaps and every
+	// admission slot frees.
 	var failedIdx atomic.Int64
 	failedIdx.Store(int64(len(srcs)))
 	var wg sync.WaitGroup
@@ -291,10 +309,10 @@ func (a *Analyzer) CheckSources(ctx context.Context, srcs []Source, emit func(Fi
 			checker := core.New(a.opts)
 			for i := range idxCh {
 				// Fail fast: skip sources after the earliest error. The
-				// emitter never reaches them — it stops at the error —
-				// so they are never emitted.
+				// emitter's delivery callback stops at the error, so they
+				// are never emitted.
 				if int64(i) > failedIdx.Load() {
-					outCh <- outcome{idx: i}
+					ord.Put(i, outcome{})
 					continue
 				}
 				reports, err := checkOne(ctx, checker, srcs[i].Name, srcs[i].Text)
@@ -305,50 +323,26 @@ func (a *Analyzer) CheckSources(ctx context.Context, srcs []Source, emit func(Fi
 							break
 						}
 					}
-					outCh <- outcome{idx: i, err: err}
+					ord.Put(i, outcome{err: err})
 					continue
 				}
-				outCh <- outcome{idx: i, diags: diagnosticsOf(reports)}
+				ord.Put(i, outcome{diags: diagnosticsOf(reports)})
 			}
 			workerStats[w] = checker.Stats()
 		}(w)
 	}
-	go func() {
-		for i := range srcs {
-			window <- struct{}{}
-			idxCh <- i
-		}
-		close(idxCh)
-		wg.Wait()
-		close(outCh)
-	}()
-
-	var firstErr error
-	next := 0
-	pending := map[int]outcome{}
-	for o := range outCh {
-		pending[o.idx] = o
-		for {
-			cur, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			if firstErr == nil {
-				if cur.err != nil {
-					firstErr = fmt.Errorf("%s: %w", srcs[next].Name, cur.err)
-				} else if emit != nil {
-					emit(FileResult{
-						Index:       next,
-						File:        srcs[next].Name,
-						Diagnostics: cur.diags,
-					})
-				}
-			}
-			next++
-			<-window
-		}
+	// The admission window caps how far workers run ahead of a slow
+	// early source, bounding the emitter's buffering at O(workers).
+	// Every index is eventually Put, so the window always drains and
+	// Admit cannot block indefinitely.
+	for i := range srcs {
+		ord.Admit(nil)
+		idxCh <- i
 	}
+	close(idxCh)
+	wg.Wait()
+	ord.Close()
+
 	var st core.Stats
 	for _, ws := range workerStats {
 		st.Add(ws)
