@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet staticcheck vulncheck test race stackd-race bench-smoke bench fuzz-smoke service-smoke cover race-cover ci
+.PHONY: all build vet staticcheck vulncheck test race stackd-race bench-smoke bench bench-json bench-gate fuzz-smoke service-smoke cover race-cover ci
 
 all: build
 
@@ -54,6 +54,18 @@ bench-smoke:
 bench:
 	$(GO) test -run NONE -bench . -benchmem
 
+# Machine-readable benchmark trajectory (see EXPERIMENTS.md). bench-json
+# regenerates the current checkpoint file; bump BENCH_CHECKPOINT when a
+# PR advances the trajectory. bench-gate reruns the set and fails on
+# regression against the newest committed BENCH_<n>.json; with no
+# checkpoint committed it passes with a notice.
+BENCH_CHECKPOINT ?= 6
+bench-json:
+	$(GO) run ./scripts/benchjson -out BENCH_$(BENCH_CHECKPOINT).json
+
+bench-gate:
+	$(GO) run ./scripts/benchjson -compare-latest
+
 # Run each native fuzz target briefly (go test allows one -fuzz
 # pattern per invocation). Seed corpora live under testdata/fuzz and
 # are also replayed by plain `make test`.
@@ -80,4 +92,4 @@ race-cover:
 	$(GO) test -race -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: vet staticcheck vulncheck build race-cover bench-smoke fuzz-smoke service-smoke
+ci: vet staticcheck vulncheck build race-cover bench-smoke bench-gate fuzz-smoke service-smoke

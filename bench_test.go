@@ -227,6 +227,10 @@ func BenchmarkSweepParallel(b *testing.B) {
 	perOp := b.Elapsed() / time.Duration(b.N)
 	b.ReportMetric(serial.Seconds()/perOp.Seconds(), "speedup-vs-serial")
 	b.ReportMetric(float64(res.RewriteHits)/float64(res.RewriteHits+res.TermsCreated), "rewrite-hit-rate")
+	// Fraction of term constructions answered by the hash-consing table;
+	// AC-chain canonicalization raises this by folding commuted chains
+	// onto one node.
+	b.ReportMetric(float64(res.CacheHits)/float64(res.CacheHits+res.TermsCreated), "cache-hit-rate")
 	b.ReportMetric(float64(res.Queries), "queries")
 	b.ReportMetric(float64(workers), "workers")
 }

@@ -69,4 +69,17 @@
 //
 // The benchmarks in bench_test.go regenerate every table and figure
 // of the paper's evaluation; see EXPERIMENTS.md for the index.
+//
+// # Benchmark trajectory
+//
+// Performance is tracked as a machine-readable trajectory: committed
+// BENCH_<n>.json checkpoints produced by scripts/benchjson from the
+// trajectory benchmark set (Fig. 16 Kerberos, the parallel sweep, and
+// incremental-vs-scratch solving), recording ns/op, allocs/op, and
+// every custom metric (queries-per-blast, rewrite-hit-rate,
+// cache-hit-rate, speedup-vs-serial). `make bench-json` regenerates
+// the current checkpoint; `make bench-gate` — part of `make ci` —
+// reruns the set and fails on regression outside the tolerance bands
+// against the newest committed checkpoint. EXPERIMENTS.md documents
+// the schema, the bands, and how to read the checkpoint history.
 package repro

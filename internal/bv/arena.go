@@ -1,0 +1,114 @@
+package bv
+
+import "unsafe"
+
+// Arena is a slab allocator for term nodes and their argument arrays.
+// The checker builds a fresh term DAG per function and drops the whole
+// graph when the function's queries finish — a lifetime pattern the
+// general-purpose heap serves poorly: hundreds of thousands of small
+// Term and []*Term allocations per sweep, all dying together. An Arena
+// batches them into large slabs and, on Reset, recycles the slabs for
+// the next function instead of returning them to the garbage
+// collector.
+//
+// Safety contract: Reset invalidates every term allocated since the
+// previous Reset. It must only be called when no *Term from the
+// associated Builder (nor anything holding one — sessions, blasters,
+// encoders) is still reachable. The checker satisfies this by scoping
+// builder, session, and encoder to one CheckFunc call and resetting
+// between functions; reports deliberately carry no terms.
+//
+// An Arena is not safe for concurrent use; concurrent sweep workers
+// each own one, matching the one-Checker-per-goroutine design.
+type Arena struct {
+	terms     []Term  // active term slab, len < cap while filling
+	args      []*Term // active argument slab
+	fullTerms [][]Term
+	fullArgs  [][]*Term
+	freeTerms [][]Term
+	freeArgs  [][]*Term
+	reused    int64
+}
+
+const (
+	termsPerSlab = 1024
+	argsPerSlab  = 4096
+
+	termBytes = int64(unsafe.Sizeof(Term{}))
+	ptrBytes  = int64(unsafe.Sizeof((*Term)(nil)))
+)
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// newTerm returns a zeroed Term slot. The pointer stays valid until
+// Reset: slabs are never moved or grown in place.
+func (a *Arena) newTerm() *Term {
+	if len(a.terms) == cap(a.terms) {
+		if cap(a.terms) > 0 {
+			a.fullTerms = append(a.fullTerms, a.terms)
+		}
+		if n := len(a.freeTerms); n > 0 {
+			a.terms = a.freeTerms[n-1]
+			a.freeTerms = a.freeTerms[:n-1]
+			a.reused += int64(cap(a.terms)) * termBytes
+		} else {
+			a.terms = make([]Term, 0, termsPerSlab)
+		}
+	}
+	a.terms = a.terms[:len(a.terms)+1]
+	return &a.terms[len(a.terms)-1]
+}
+
+// newArgs returns a zeroed argument array of length n, capacity-capped
+// so appends cannot spill into neighboring allocations.
+func (a *Arena) newArgs(n int) []*Term {
+	if len(a.args)+n > cap(a.args) {
+		if cap(a.args) > 0 {
+			a.fullArgs = append(a.fullArgs, a.args)
+		}
+		if m := len(a.freeArgs); m > 0 && cap(a.freeArgs[m-1]) >= n {
+			a.args = a.freeArgs[m-1]
+			a.freeArgs = a.freeArgs[:m-1]
+			a.reused += int64(cap(a.args)) * ptrBytes
+		} else {
+			size := argsPerSlab
+			if n > size {
+				size = n
+			}
+			a.args = make([]*Term, 0, size)
+		}
+	}
+	out := a.args[len(a.args) : len(a.args)+n : len(a.args)+n]
+	a.args = a.args[:len(a.args)+n]
+	return out
+}
+
+// Reset recycles every slab for reuse. See the type comment for the
+// safety contract. Slab contents are cleared so the recycled memory
+// does not pin the previous generation's big.Int values and argument
+// graphs until overwritten.
+func (a *Arena) Reset() {
+	if cap(a.terms) > 0 {
+		a.fullTerms = append(a.fullTerms, a.terms)
+	}
+	a.terms = nil
+	for _, s := range a.fullTerms {
+		clear(s)
+		a.freeTerms = append(a.freeTerms, s[:0])
+	}
+	a.fullTerms = a.fullTerms[:0]
+	if cap(a.args) > 0 {
+		a.fullArgs = append(a.fullArgs, a.args)
+	}
+	a.args = nil
+	for _, s := range a.fullArgs {
+		clear(s)
+		a.freeArgs = append(a.freeArgs, s[:0])
+	}
+	a.fullArgs = a.fullArgs[:0]
+}
+
+// BytesReused returns the cumulative bytes served from recycled slabs
+// instead of fresh heap allocations.
+func (a *Arena) BytesReused() int64 { return a.reused }

@@ -13,6 +13,7 @@ type Builder struct {
 	consts map[constKey]*Term
 	vars   map[string]*Term
 	nextID int
+	arena  *Arena // optional slab allocator; nil means plain heap
 	// NoRewrite disables the word-level rewrite engine and commutative
 	// canonicalization: terms intern exactly as constructed. This is the
 	// reference mode of the differential test layer — a rewrite-free
@@ -50,22 +51,63 @@ func NewBuilder() *Builder {
 	}
 }
 
-func (b *Builder) intern(t *Term) *Term {
-	k := key{op: t.op, width: t.width, lo: t.lo, a0: -1, a1: -1, a2: -1}
-	if len(t.args) > 0 {
-		k.a0 = t.args[0].id
+// NewBuilderArena returns a builder whose term nodes and argument
+// arrays are allocated from a — see Arena for the lifetime contract.
+// The arena may be shared sequentially by successive builders (the
+// checker resets it between functions); nil is equivalent to
+// NewBuilder.
+func NewBuilderArena(a *Arena) *Builder {
+	b := NewBuilder()
+	b.arena = a
+	return b
+}
+
+// alloc returns a fresh zeroed Term, from the arena when present.
+func (b *Builder) alloc() *Term {
+	if b.arena != nil {
+		return b.arena.newTerm()
 	}
-	if len(t.args) > 1 {
-		k.a1 = t.args[1].id
+	return new(Term)
+}
+
+// intern returns the unique term with the given shape, creating it on
+// first use. Absent argument slots are nil; all present arguments must
+// precede absent ones.
+func (b *Builder) intern(op Op, width, lo int, a0, a1, a2 *Term) *Term {
+	k := key{op: op, width: width, lo: lo, a0: -1, a1: -1, a2: -1}
+	n := 0
+	if a0 != nil {
+		k.a0 = a0.id
+		n = 1
 	}
-	if len(t.args) > 2 {
-		k.a2 = t.args[2].id
+	if a1 != nil {
+		k.a1 = a1.id
+		n = 2
+	}
+	if a2 != nil {
+		k.a2 = a2.id
+		n = 3
 	}
 	if ex, ok := b.table[k]; ok {
 		b.CacheHits++
 		return ex
 	}
-	t.id = b.nextID
+	t := b.alloc()
+	t.op, t.width, t.lo, t.id = op, width, lo, b.nextID
+	if n > 0 {
+		if b.arena != nil {
+			t.args = b.arena.newArgs(n)
+		} else {
+			t.args = make([]*Term, n)
+		}
+		t.args[0] = a0
+		if n > 1 {
+			t.args[1] = a1
+		}
+		if n > 2 {
+			t.args[2] = a2
+		}
+	}
 	b.nextID++
 	b.TermsCreated++
 	b.table[k] = t
@@ -93,7 +135,8 @@ func (b *Builder) Const(v *big.Int, width int) *Term {
 		b.CacheHits++
 		return ex
 	}
-	t := &Term{op: OpConst, width: width, val: norm, id: b.nextID}
+	t := b.alloc()
+	t.op, t.width, t.val, t.id = OpConst, width, norm, b.nextID
 	b.nextID++
 	b.TermsCreated++
 	b.consts[ck] = t
@@ -123,7 +166,8 @@ func (b *Builder) Var(name string, width int) *Term {
 		}
 		return t
 	}
-	t := &Term{op: OpVar, width: width, name: name, id: b.nextID}
+	t := b.alloc()
+	t.op, t.width, t.name, t.id = OpVar, width, name, b.nextID
 	b.nextID++
 	b.TermsCreated++
 	b.vars[name] = t
@@ -131,28 +175,59 @@ func (b *Builder) Var(name string, width int) *Term {
 }
 
 func (b *Builder) binary(op Op, x, y *Term) *Term {
-	if x.width != y.width {
-		panic(fmt.Sprintf("bv: width mismatch %d vs %d in %v", x.width, y.width, op))
+	if t, done := b.binaryPre(op, &x, &y); done {
+		return t
+	}
+	if !b.NoRewrite && acCommutative(op) {
+		if t := b.canonChain(op, x, y); t != nil {
+			return t
+		}
+	}
+	return b.internBinary(op, x, y)
+}
+
+// binaryNoCanon is binary without chain canonicalization: the pairwise
+// rewrite rules still run, but the operand chain interns as
+// constructed. canonChain rebuilds through it so that reassembling a
+// sorted chain cannot recurse into canonicalizing the same multiset.
+func (b *Builder) binaryNoCanon(op Op, x, y *Term) *Term {
+	if t, done := b.binaryPre(op, &x, &y); done {
+		return t
+	}
+	return b.internBinary(op, x, y)
+}
+
+// binaryPre runs the shared front half of binary construction: width
+// checking, the constant-to-right swap for commutative operations
+// (mutating *x/*y), and the pairwise rewrite engine. done reports that
+// t is the finished result.
+func (b *Builder) binaryPre(op Op, x, y **Term) (t *Term, done bool) {
+	if (*x).width != (*y).width {
+		panic(fmt.Sprintf("bv: width mismatch %d vs %d in %v", (*x).width, (*y).width, op))
 	}
 	// Canonicalize commutative operations so a lone constant operand
 	// sits on the right: the rewrite rules only inspect y, and the
 	// interned node is shared between c⊕x and x⊕c.
-	if !b.NoRewrite && x.op == OpConst && y.op != OpConst {
+	if !b.NoRewrite && (*x).op == OpConst && (*y).op != OpConst {
 		switch op {
 		case OpAnd, OpOr, OpXor, OpAdd, OpMul, OpEq:
-			x, y = y, x
+			*x, *y = *y, *x
 		}
 	}
+	if !b.NoRewrite {
+		if t := b.rewriteBinary(op, *x, *y); t != nil {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (b *Builder) internBinary(op Op, x, y *Term) *Term {
 	w := x.width
 	if op == OpEq || op == OpULT || op == OpULE || op == OpSLT || op == OpSLE {
 		w = 1
 	}
-	if !b.NoRewrite {
-		if t := b.rewriteBinary(op, x, y); t != nil {
-			return t
-		}
-	}
-	return b.intern(&Term{op: op, width: w, args: []*Term{x, y}})
+	return b.intern(op, w, 0, x, y, nil)
 }
 
 // --- Public constructors -------------------------------------------------
@@ -164,7 +239,7 @@ func (b *Builder) Not(x *Term) *Term {
 			return t
 		}
 	}
-	return b.intern(&Term{op: OpNot, width: x.width, args: []*Term{x}})
+	return b.intern(OpNot, x.width, 0, x, nil, nil)
 }
 
 // Neg returns two's-complement negation.
@@ -174,7 +249,7 @@ func (b *Builder) Neg(x *Term) *Term {
 			return t
 		}
 	}
-	return b.intern(&Term{op: OpNeg, width: x.width, args: []*Term{x}})
+	return b.intern(OpNeg, x.width, 0, x, nil, nil)
 }
 
 // And, Or, Xor are bitwise; on width-1 terms they double as the boolean
@@ -230,7 +305,7 @@ func (b *Builder) ITE(cond, x, y *Term) *Term {
 			return t
 		}
 	}
-	return b.intern(&Term{op: OpITE, width: x.width, args: []*Term{cond, x, y}})
+	return b.intern(OpITE, x.width, 0, cond, x, y)
 }
 
 // ZExt zero-extends x to width w (w ≥ x.Width()).
@@ -246,7 +321,7 @@ func (b *Builder) ZExt(x *Term, w int) *Term {
 			return t
 		}
 	}
-	return b.intern(&Term{op: OpZExt, width: w, args: []*Term{x}})
+	return b.intern(OpZExt, w, 0, x, nil, nil)
 }
 
 // SExt sign-extends x to width w.
@@ -262,7 +337,7 @@ func (b *Builder) SExt(x *Term, w int) *Term {
 			return t
 		}
 	}
-	return b.intern(&Term{op: OpSExt, width: w, args: []*Term{x}})
+	return b.intern(OpSExt, w, 0, x, nil, nil)
 }
 
 // Extract returns bits [lo, hi] of x (inclusive, hi ≥ lo).
@@ -279,7 +354,7 @@ func (b *Builder) Extract(x *Term, hi, lo int) *Term {
 			return t
 		}
 	}
-	return b.intern(&Term{op: OpExtract, width: w, lo: lo, args: []*Term{x}})
+	return b.intern(OpExtract, w, lo, x, nil, nil)
 }
 
 // Concat returns hi ++ lo (hi occupies the most significant bits).
@@ -289,7 +364,7 @@ func (b *Builder) Concat(hi, lo *Term) *Term {
 			return t
 		}
 	}
-	return b.intern(&Term{op: OpConcat, width: hi.width + lo.width, args: []*Term{hi, lo}})
+	return b.intern(OpConcat, hi.width+lo.width, 0, hi, lo, nil)
 }
 
 // Implies returns ¬x ∨ y for width-1 terms.

@@ -37,6 +37,17 @@ type Session struct {
 	// Timeout and MaxConflicts bound each query, as on Solver.
 	Timeout      time.Duration
 	MaxConflicts int64
+	// LearntBudget, when positive, bounds the learned clauses the
+	// incremental solver carries from one query into the next: after
+	// each query the learnt database is trimmed toward the budget
+	// (locked and binary clauses always survive; see
+	// sat.Solver.TrimLearnts). Mid-search reduceDB trims by activity
+	// during a single query; the budget bounds what outlives the query,
+	// keeping a long session's memory proportional to the budget rather
+	// than to its history. Zero means unbounded (the historical
+	// behavior). Ignored in Scratch mode, where nothing outlives a
+	// query anyway.
+	LearntBudget int
 
 	inc *Solver // lazily created incremental solver (nil in Scratch mode)
 	cur *Solver // solver that produced the last verdict, for model access
@@ -59,6 +70,7 @@ type Session struct {
 	LearntsReused int64
 
 	scratchBlasts int64 // terms blasted by discarded scratch solvers
+	scratchDrops  int64 // learnts dropped by discarded scratch solvers
 }
 
 // NewSession returns a session for terms created by bld.
@@ -75,6 +87,7 @@ func (s *Session) solverForQuery() *Solver {
 	if s.Scratch {
 		if s.cur != nil {
 			s.scratchBlasts += s.cur.Blasts()
+			s.scratchDrops += s.cur.LearntsDropped()
 		}
 		sv := NewSolver(s.bld)
 		sv.Timeout = s.Timeout
@@ -99,6 +112,9 @@ func (s *Session) account(sv *Solver, blastsBefore int64, fastBefore, timeoutsBe
 	}
 	s.LearntsReused += int64(learntsBefore)
 	s.cur = sv
+	if s.LearntBudget > 0 && !s.Scratch {
+		sv.TrimLearnts(s.LearntBudget)
+	}
 }
 
 // Solve decides whether all assumption terms are jointly satisfiable,
@@ -162,6 +178,20 @@ func (s *Session) Blasts() int64 {
 	}
 	if s.Scratch && s.cur != nil {
 		n += s.cur.Blasts()
+	}
+	return n
+}
+
+// LearntsDropped returns the learned clauses discarded over the
+// session's lifetime, by mid-search database reductions and by the
+// session's LearntBudget trims.
+func (s *Session) LearntsDropped() int64 {
+	n := s.scratchDrops
+	if s.inc != nil {
+		n += s.inc.LearntsDropped()
+	}
+	if s.Scratch && s.cur != nil {
+		n += s.cur.LearntsDropped()
 	}
 	return n
 }

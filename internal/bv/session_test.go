@@ -93,12 +93,17 @@ func TestSessionUnsatCoreMatchesScratch(t *testing.T) {
 }
 
 // hardQuery builds a query far beyond the solver's reach: 16-bit
-// multiplication commutativity, the classic CDCL-hostile instance. Its
-// only fast exit is an interrupt.
+// multiplication distributivity, a classic CDCL-hostile instance. Its
+// only fast exit is an interrupt. (Commutativity x*y ≠ y*x, the usual
+// choice, no longer works: chain canonicalization interns both
+// products to one node and the query folds to false at construction.)
 func hardQuery(bld *Builder) *Term {
-	x := bld.Var("x", 16)
-	y := bld.Var("y", 16)
-	return bld.Ne(bld.Mul(x, y), bld.Mul(y, x))
+	x := bld.Var("hardx", 16)
+	y := bld.Var("hardy", 16)
+	z := bld.Var("hardz", 16)
+	lhs := bld.Mul(x, bld.Add(y, z))
+	rhs := bld.Add(bld.Mul(x, y), bld.Mul(x, z))
+	return bld.Ne(lhs, rhs)
 }
 
 // TestSessionContextCancellation: a long query under a context that is

@@ -291,3 +291,12 @@ func (s *Solver) HasModel() bool { return s.modelValid }
 // retained by the SAT core. They persist across Solve calls, so this is
 // the conflict knowledge the next query starts from.
 func (s *Solver) LearnedClauses() int { return s.sat.NumLearnts() }
+
+// TrimLearnts shrinks the SAT core's learned-clause database toward
+// target between queries (see sat.Solver.TrimLearnts). Sessions with a
+// LearntBudget call this after every query.
+func (s *Solver) TrimLearnts(target int) { s.sat.TrimLearnts(target) }
+
+// LearntsDropped returns the learned clauses the SAT core has discarded
+// over its lifetime (mid-search reductions plus TrimLearnts calls).
+func (s *Solver) LearntsDropped() int64 { return s.sat.LearntsDropped }

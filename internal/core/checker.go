@@ -53,6 +53,14 @@ type Options struct {
 	MinUBSets bool
 	// Inline runs the IR inliner before checking (paper §4.2).
 	Inline bool
+	// LearntBudget, when positive, bounds the learned clauses each
+	// function's incremental session carries between queries (see
+	// bv.Session.LearntBudget). Zero means unbounded, the historical
+	// behavior. The budget changes solver effort, not verdicts on
+	// decided queries, but like Timeout/MaxConflictsPerQuery it can
+	// flip a near-limit query to Unknown, so strict differential
+	// comparisons leave it unset.
+	LearntBudget int
 	// ScratchSolve disables incremental solving: every solver query is
 	// decided by a fresh SAT core over a freshly blasted encoding, as if
 	// it were the only query ever issued. Reports, counts, and the
@@ -120,10 +128,13 @@ type Stats struct {
 	Timeouts      int64
 	ReportsByAlgo [3]int
 	// RewriteHits counts term constructions answered by bv's word-level
-	// rewrite rules; TermsCreated counts interned term nodes; FastPaths
-	// counts solver queries decided from constants without CDCL search.
+	// rewrite rules; TermsCreated counts interned term nodes; CacheHits
+	// counts constructions answered by the hash-consing table (chain
+	// canonicalization exists to drive this up); FastPaths counts
+	// solver queries decided from constants without CDCL search.
 	RewriteHits  int64
 	TermsCreated int64
+	CacheHits    int64
 	FastPaths    int64
 	// Incremental-session effort (see bv.Session): TermsBlasted counts
 	// terms lowered to CNF, BlastPasses counts queries that lowered at
@@ -133,6 +144,13 @@ type Stats struct {
 	TermsBlasted  int64
 	BlastPasses   int64
 	LearntsReused int64
+	// LearntsDropped counts learned clauses discarded by the SAT
+	// layer's database reductions and session learnt budgets;
+	// ArenaBytesReused counts term-allocator bytes served from recycled
+	// slabs instead of fresh heap allocations (zero until a function
+	// has been checked on a warm arena).
+	LearntsDropped   int64
+	ArenaBytesReused int64
 }
 
 // Add accumulates other into s. It is the reduction step for
@@ -149,10 +167,13 @@ func (s *Stats) Add(other Stats) {
 	}
 	s.RewriteHits += other.RewriteHits
 	s.TermsCreated += other.TermsCreated
+	s.CacheHits += other.CacheHits
 	s.FastPaths += other.FastPaths
 	s.TermsBlasted += other.TermsBlasted
 	s.BlastPasses += other.BlastPasses
 	s.LearntsReused += other.LearntsReused
+	s.LearntsDropped += other.LearntsDropped
+	s.ArenaBytesReused += other.ArenaBytesReused
 }
 
 // Checker is the STACK checker. Create with New; safe for sequential
@@ -163,10 +184,16 @@ func (s *Stats) Add(other Stats) {
 type Checker struct {
 	opts  Options
 	stats Stats
+	// arena backs term allocation for every function this checker
+	// analyzes; it is reset between functions, recycling the slabs of
+	// the previous function's term DAG. Safe because nothing built
+	// during CheckFunc outlives it (reports carry positions and UB
+	// kinds, never terms).
+	arena *bv.Arena
 }
 
 // New returns a checker with the given options.
-func New(opts Options) *Checker { return &Checker{opts: opts} }
+func New(opts Options) *Checker { return &Checker{opts: opts, arena: bv.NewArena()} }
 
 // Stats returns accumulated statistics.
 func (c *Checker) Stats() Stats { return c.stats }
@@ -221,11 +248,14 @@ func (c *Checker) CheckFunc(ctx context.Context, f *ir.Func) ([]*Report, error) 
 	// "optimization-safe?" query) plus the Fig. 8 masking loop run under
 	// assumptions against the same SAT core. ScratchSolve flips the
 	// session into the per-query-rebuild reference mode.
-	bld := bv.NewBuilder()
+	bld := bv.NewBuilderArena(c.arena)
+	arenaReusedBefore := c.arena.BytesReused()
+	defer c.arena.Reset()
 	solver := bv.NewSession(bld)
 	solver.Timeout = c.opts.Timeout
 	solver.MaxConflicts = c.opts.MaxConflictsPerQuery
 	solver.Scratch = c.opts.ScratchSolve
+	solver.LearntBudget = c.opts.LearntBudget
 	enc := newEncoder(bld, f)
 	ubs := insertUBConds(f)
 	dom := ir.ComputeDom(f)
@@ -254,9 +284,12 @@ func (c *Checker) CheckFunc(ctx context.Context, f *ir.Func) ([]*Report, error) 
 	c.stats.FastPaths += solver.FastPaths
 	c.stats.RewriteHits += int64(bld.RewriteHits)
 	c.stats.TermsCreated += int64(bld.TermsCreated)
+	c.stats.CacheHits += int64(bld.CacheHits)
 	c.stats.TermsBlasted += solver.Blasts()
 	c.stats.BlastPasses += solver.BlastPasses
 	c.stats.LearntsReused += solver.LearntsReused
+	c.stats.LearntsDropped += solver.LearntsDropped()
+	c.stats.ArenaBytesReused += c.arena.BytesReused() - arenaReusedBefore
 	for _, r := range reports {
 		c.stats.ReportsByAlgo[r.Algo]++
 	}

@@ -117,6 +117,15 @@ type SweepResult struct {
 	TermsBlasted  int64
 	BlastPasses   int64
 	LearntsReused int64
+	// CacheHits counts term constructions answered from the builder's
+	// hash-consing table — chains the canonicalizer folded onto an
+	// existing node count here. LearntsDropped counts learned clauses
+	// discarded by database reductions and session budget trims.
+	// ArenaBytesReused counts bytes the term arenas served from recycled
+	// slabs instead of fresh heap allocations.
+	CacheHits        int64
+	LearntsDropped   int64
+	ArenaBytesReused int64
 	// ReportLog lists every report with its file, sorted by file, then
 	// position, then algorithm — the deterministic flat view of the
 	// sweep, independent of worker count and scheduling.
@@ -431,6 +440,9 @@ func (a *accumulator) finish(workerStats []core.Stats) *SweepResult {
 	res.TermsBlasted = st.TermsBlasted
 	res.BlastPasses = st.BlastPasses
 	res.LearntsReused = st.LearntsReused
+	res.CacheHits = st.CacheHits
+	res.LearntsDropped = st.LearntsDropped
+	res.ArenaBytesReused = st.ArenaBytesReused
 
 	sort.SliceStable(res.ReportLog, func(i, j int) bool {
 		a, b := res.ReportLog[i], res.ReportLog[j]
@@ -461,6 +473,12 @@ func (r *SweepResult) Format() string {
 	fmt.Fprintf(&b, "rewrite hits / fast paths: %d / %d\n", r.RewriteHits, r.FastPaths)
 	fmt.Fprintf(&b, "terms blasted / blast passes: %d / %d (learnt reuse %d)\n",
 		r.TermsBlasted, r.BlastPasses, r.LearntsReused)
+	// ArenaBytesReused is deliberately absent here: it tracks per-process
+	// allocator reuse, which varies with worker count, and this text
+	// block is byte-identical for any -j. It stays available in the
+	// struct and the JSON stats encodings.
+	fmt.Fprintf(&b, "builder cache hits / learnts dropped: %d / %d\n",
+		r.CacheHits, r.LearntsDropped)
 	b.WriteString("\nreports by algorithm (Fig. 17):\n")
 	for a := core.AlgoElimination; a <= core.AlgoSimplifyAlgebra; a++ {
 		fmt.Fprintf(&b, "  %-34s %d\n", a.String(), r.ReportsByAlgo[a])

@@ -312,4 +312,10 @@ func TestSweepRewriteLayerEngaged(t *testing.T) {
 	if res.TermsCreated == 0 {
 		t.Error("sweep recorded zero terms created")
 	}
+	if res.CacheHits == 0 {
+		t.Error("sweep recorded zero builder cache hits")
+	}
+	if res.ArenaBytesReused == 0 {
+		t.Error("sweep recorded zero arena bytes reused; per-function arena recycling is off")
+	}
 }

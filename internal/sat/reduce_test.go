@@ -1,0 +1,214 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mkLearnt fabricates a learned clause over the given literals with
+// the given activity, attached and registered like one produced by
+// conflict analysis.
+func mkLearnt(s *Solver, act float64, ls ...Lit) *clause {
+	c := s.newClause(ls, true)
+	c.act = act
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	return c
+}
+
+// watchConsistent verifies the two-literal watching invariants: every
+// watcher points at a live clause that really watches that literal,
+// and every live clause with ≥2 literals is watched on exactly its
+// first two literals.
+func watchConsistent(t *testing.T, s *Solver) {
+	t.Helper()
+	live := map[*clause]bool{}
+	for _, c := range s.clauses {
+		live[c] = true
+	}
+	for _, c := range s.learnts {
+		live[c] = true
+	}
+	counts := map[*clause]int{}
+	for l := range s.watches {
+		for _, w := range s.watches[l] {
+			if !live[w.c] {
+				t.Fatalf("watch list for lit %d references a detached clause %v", l, w.c.lits)
+			}
+			if w.c.lits[0].Not() != Lit(l) && w.c.lits[1].Not() != Lit(l) {
+				t.Fatalf("clause %v watched on %d, which is neither of its first two literals", w.c.lits, l)
+			}
+			counts[w.c]++
+		}
+	}
+	for c := range live {
+		if len(c.lits) >= 2 && counts[c] != 2 {
+			t.Fatalf("clause %v has %d watchers, want 2", c.lits, counts[c])
+		}
+	}
+}
+
+// TestReduceDBRetention: reduceDB keeps binary and locked learnt
+// clauses regardless of activity, drops cold ones, and leaves the
+// watch lists consistent.
+func TestReduceDBRetention(t *testing.T) {
+	s := New()
+	v := lits(s, 12)
+
+	binary := mkLearnt(s, 0, v[0], v[1])       // coldest possible, but binary
+	locked := mkLearnt(s, 0, v[2], v[3], v[4]) // will be a reason clause
+	cold := mkLearnt(s, 1, v[5], v[6], v[7])   // below median: dropped
+	cold2 := mkLearnt(s, 2, v[5], v[8], v[11]) // below median: dropped
+	// Five hot clauses pin the median at 50, clearly above the colds
+	// (the drop rule is act < median; median-tied clauses survive).
+	hots := make([]*clause, 5)
+	for i := range hots {
+		hots[i] = mkLearnt(s, 50, v[i], v[i+4].Not(), v[i+7])
+	}
+
+	// Make `locked` the reason for its first literal, as if propagation
+	// had just enqueued it.
+	s.uncheckedEnqueue(locked.lits[0], locked)
+	if !s.locked(locked) {
+		t.Fatal("test setup: clause not locked")
+	}
+
+	s.LearntFloor = 1 // force reduction on a tiny database
+	s.reduceDB()
+
+	kept := map[*clause]bool{}
+	for _, c := range s.learnts {
+		kept[c] = true
+	}
+	if !kept[binary] {
+		t.Errorf("binary learnt dropped; binaries must survive reduction")
+	}
+	if !kept[locked] {
+		t.Errorf("locked learnt dropped; reason clauses must survive reduction")
+	}
+	for i, h := range hots {
+		if !kept[h] {
+			t.Errorf("above-median learnt %d dropped", i)
+		}
+	}
+	if kept[cold] || kept[cold2] {
+		t.Errorf("cold learnts survived: cold=%v cold2=%v", kept[cold], kept[cold2])
+	}
+	if s.LearntsDropped != 2 {
+		t.Errorf("LearntsDropped = %d, want 2", s.LearntsDropped)
+	}
+	watchConsistent(t, s)
+}
+
+// TestReduceDBFloor: below the floor reduceDB is a no-op; with
+// geometric growth configured, each reduction raises the floor.
+func TestReduceDBFloor(t *testing.T) {
+	s := New()
+	v := lits(s, 20)
+	for i := 0; i+2 < len(v); i++ {
+		mkLearnt(s, float64(i), v[i], v[i+1], v[i+2])
+	}
+	n := len(s.learnts)
+
+	s.LearntFloor = n + 1
+	s.reduceDB()
+	if len(s.learnts) != n {
+		t.Fatalf("reduceDB below floor dropped clauses: %d -> %d", n, len(s.learnts))
+	}
+
+	s.LearntFloor = 4
+	s.LearntFloorGrowth = 2
+	s.reduceDB()
+	if len(s.learnts) >= n {
+		t.Fatalf("reduceDB above floor dropped nothing")
+	}
+	if s.LearntFloor != 8 {
+		t.Fatalf("floor after reduction = %d, want 8 (geometric growth)", s.LearntFloor)
+	}
+	watchConsistent(t, s)
+}
+
+// TestTrimLearnts: trimming between solves shrinks the database toward
+// the target while retaining binary clauses, and counts the drops.
+func TestTrimLearnts(t *testing.T) {
+	s := New()
+	v := lits(s, 30)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		a, b, c := rng.Intn(len(v)), rng.Intn(len(v)), rng.Intn(len(v))
+		if a == b || b == c || a == c {
+			continue
+		}
+		mkLearnt(s, rng.Float64(), v[a], v[b].Not(), v[c])
+	}
+	mkLearnt(s, 0, v[0], v[1]) // binary, must survive any trim
+	before := len(s.learnts)
+
+	s.TrimLearnts(before) // already within budget: no-op
+	if len(s.learnts) != before {
+		t.Fatalf("TrimLearnts at budget dropped clauses")
+	}
+
+	s.TrimLearnts(8)
+	if len(s.learnts) > before/2 {
+		t.Fatalf("TrimLearnts(8) left %d of %d clauses", len(s.learnts), before)
+	}
+	hasBinary := false
+	for _, c := range s.learnts {
+		if len(c.lits) == 2 {
+			hasBinary = true
+		}
+	}
+	if !hasBinary {
+		t.Errorf("binary learnt did not survive trimming")
+	}
+	if got := int(s.LearntsDropped) + len(s.learnts); got != before {
+		t.Errorf("dropped(%d) + kept(%d) != initial(%d)", s.LearntsDropped, len(s.learnts), before)
+	}
+	watchConsistent(t, s)
+}
+
+// TestSolveCorrectAfterReduction: verdicts after forced database
+// reductions and trims match a fresh reference solver on the same
+// formula — reduction must be invisible to correctness.
+func TestSolveCorrectAfterReduction(t *testing.T) {
+	const nVars, nClauses = 30, 120
+	rng := rand.New(rand.NewSource(7))
+	type cl [3]Lit
+	var formula []cl
+	for i := 0; i < nClauses; i++ {
+		var c cl
+		for j := range c {
+			c[j] = NewLit(Var(rng.Intn(nVars)), rng.Intn(2) == 0)
+		}
+		formula = append(formula, c)
+	}
+	load := func() *Solver {
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, c := range formula {
+			s.AddClause(c[0], c[1], c[2])
+		}
+		return s
+	}
+
+	inc := load()
+	inc.LearntFloor = 1 // reduce aggressively at every opportunity
+	for q := 0; q < 40; q++ {
+		a := NewLit(Var(rng.Intn(nVars)), rng.Intn(2) == 0)
+		b := NewLit(Var(rng.Intn(nVars)), rng.Intn(2) == 0)
+		want := load().Solve(a, b)
+		if got := inc.Solve(a, b); got != want {
+			t.Fatalf("query %d (%v,%v): incremental=%v fresh=%v", q, a, b, got, want)
+		}
+		switch q % 3 {
+		case 0:
+			inc.reduceDB()
+		case 1:
+			inc.TrimLearnts(4)
+		}
+		watchConsistent(t, inc)
+	}
+}

@@ -133,11 +133,71 @@ type Solver struct {
 	// MaxConflicts, if nonzero, bounds the number of conflicts per
 	// Solve call before returning Unknown.
 	MaxConflicts int64
+	// LearntFloor is the learnt-count below which reduceDB is a no-op.
+	// It starts at learntFloorBase and grows geometrically by
+	// LearntFloorGrowth after each reduction, so long-lived incremental
+	// solvers are allowed a progressively larger working set instead of
+	// thrashing the same ceiling. The default growth of 1 reproduces
+	// the historical fixed floor of 100.
+	LearntFloor       int
+	LearntFloorGrowth float64
+	// LearntsDropped counts learned clauses removed by reduceDB and
+	// TrimLearnts over the solver's lifetime.
+	LearntsDropped int64
+
+	// Slab storage for clause structs and their literal arrays: one
+	// large allocation per slab instead of two small ones per clause.
+	// Slabs are append-only and live as long as the solver; clause
+	// pointers into them stay valid because a slab never grows in
+	// place. Detached clauses leave garbage in the slab until the
+	// solver is dropped — acceptable for solver lifetimes scoped to a
+	// session or a query.
+	clauseSlab []clause
+	litSlab    []Lit
+	// Scratch buffers reused across calls: conflict analysis
+	// (analyzeBuf/touchedBuf) and reduceDB's median selection
+	// (medianBuf) previously allocated per call.
+	analyzeBuf []Lit
+	touchedBuf []Var
+	medianBuf  []float64
+	addBuf     []Lit
+}
+
+const learntFloorBase = 100
+
+// newClause returns a clause backed by slab storage, holding a copy of
+// lits.
+func (s *Solver) newClause(lits []Lit, learned bool) *clause {
+	if len(s.clauseSlab) == cap(s.clauseSlab) {
+		s.clauseSlab = make([]clause, 0, 256)
+	}
+	s.clauseSlab = s.clauseSlab[:len(s.clauseSlab)+1]
+	c := &s.clauseSlab[len(s.clauseSlab)-1]
+	c.lits = s.allocLits(len(lits))
+	copy(c.lits, lits)
+	c.learned = learned
+	c.act = 0
+	return c
+}
+
+// allocLits carves an n-literal array out of the literal slab,
+// capacity-capped so the watch-swap writes in propagate stay inside it.
+func (s *Solver) allocLits(n int) []Lit {
+	if len(s.litSlab)+n > cap(s.litSlab) {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		s.litSlab = make([]Lit, 0, size)
+	}
+	out := s.litSlab[len(s.litSlab) : len(s.litSlab)+n : len(s.litSlab)+n]
+	s.litSlab = s.litSlab[:len(s.litSlab)+n]
+	return out
 }
 
 // New returns an empty solver.
 func New() *Solver {
-	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	s := &Solver{varInc: 1, claInc: 1, ok: true, LearntFloor: learntFloorBase, LearntFloorGrowth: 1}
 	s.order = newVarHeap(&s.activity)
 	return s
 }
@@ -186,13 +246,12 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if len(s.trailLim) != 0 {
 		panic("sat: AddClause called during search")
 	}
-	// Normalize: drop duplicate and false literals, detect tautology.
-	out := lits[:0:len(lits)]
-	out = append(out, lits...)
-	// Sort-free dedup for small clauses.
-	norm := make([]Lit, 0, len(out))
+	// Normalize into the reusable scratch buffer: drop duplicate and
+	// false literals, detect tautology (sort-free dedup; clauses are
+	// small).
+	norm := s.addBuf[:0]
 loop:
-	for _, l := range out {
+	for _, l := range lits {
 		if int(l.Var()) >= s.nVars {
 			panic("sat: literal references unallocated variable")
 		}
@@ -212,6 +271,7 @@ loop:
 		}
 		norm = append(norm, l)
 	}
+	s.addBuf = norm[:0]
 	switch len(norm) {
 	case 0:
 		s.ok = false
@@ -224,7 +284,7 @@ loop:
 		}
 		return true
 	}
-	c := &clause{lits: norm}
+	c := s.newClause(norm, false)
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
@@ -327,12 +387,15 @@ func (s *Solver) propagate() *clause {
 }
 
 // analyze performs first-UIP conflict analysis, returning the learned
-// clause (asserting literal first) and the backtrack level.
+// clause (asserting literal first) and the backtrack level. The
+// returned slice aliases a scratch buffer reused by the next call;
+// callers must copy it before retaining (search copies into clause
+// slab storage).
 func (s *Solver) analyze(confl *clause) ([]Lit, int) {
-	learnt := []Lit{0} // placeholder for asserting literal
+	learnt := append(s.analyzeBuf[:0], 0) // placeholder for asserting literal
 	pathC := 0
 	var p Lit = -1
-	var touched []Var // every var whose seen flag was set
+	touched := s.touchedBuf[:0] // every var whose seen flag was set
 	idx := len(s.trail) - 1
 	for {
 		if confl.learned {
@@ -382,6 +445,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	for _, v := range touched {
 		s.seen[v] = false
 	}
+	s.analyzeBuf, s.touchedBuf = learnt, touched // keep grown buffers
 	// Compute backtrack level: the max level among learnt[1:].
 	btLevel := 0
 	if len(learnt) > 1 {
@@ -482,17 +546,38 @@ func luby(i int64) int64 {
 	}
 }
 
-// reduceDB removes half of the learned clauses, preferring low activity.
+// reduceDB removes roughly half of the learned clauses, preferring low
+// activity. Below the adaptive floor (LearntFloor, growing by
+// LearntFloorGrowth after every reduction) it is a no-op, so a solver
+// that keeps proving useful conflicts earns a larger retained set.
 func (s *Solver) reduceDB() {
-	if len(s.learnts) < 100 {
+	if s.LearntFloor <= 0 {
+		s.LearntFloor = learntFloorBase
+	}
+	if len(s.learnts) < s.LearntFloor {
 		return
 	}
-	// Partial selection: simple threshold on median activity.
-	acts := make([]float64, len(s.learnts))
-	for i, c := range s.learnts {
-		acts[i] = c.act
+	med := s.medianActivity()
+	s.dropBelow(med)
+	if s.LearntFloorGrowth > 1 {
+		s.LearntFloor = int(float64(s.LearntFloor) * s.LearntFloorGrowth)
 	}
-	med := quickMedian(acts)
+}
+
+// medianActivity returns the median learnt activity, using the
+// solver's scratch buffer instead of allocating per call.
+func (s *Solver) medianActivity() float64 {
+	acts := s.medianBuf[:0]
+	for _, c := range s.learnts {
+		acts = append(acts, c.act)
+	}
+	s.medianBuf = acts[:0]
+	return quickMedian(acts)
+}
+
+// dropBelow detaches unlocked, non-binary learned clauses with
+// activity below med, keeping watch lists consistent.
+func (s *Solver) dropBelow(med float64) {
 	kept := s.learnts[:0]
 	for _, c := range s.learnts {
 		if len(c.lits) == 2 || c.act >= med || s.locked(c) {
@@ -500,20 +585,47 @@ func (s *Solver) reduceDB() {
 			continue
 		}
 		s.detach(c)
+		s.LearntsDropped++
 	}
 	s.learnts = kept
+}
+
+// TrimLearnts shrinks the learned-clause database toward target by
+// dropping low-activity clauses, between searches rather than mid-
+// search. It is the hook incremental sessions use to keep a
+// long-lived solver's memory bounded across many Solve calls. Locked
+// and binary clauses are always retained, so the result may exceed
+// target. It must not be called mid-search.
+func (s *Solver) TrimLearnts(target int) {
+	if target < 0 || len(s.learnts) <= target {
+		return
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: TrimLearnts called during search")
+	}
+	// One median pass halves the set; repeat until at or under target,
+	// bailing out when a pass stops making progress (everything left is
+	// binary, locked, or activity-tied).
+	for len(s.learnts) > target {
+		before := len(s.learnts)
+		s.dropBelow(s.medianActivity())
+		if len(s.learnts) >= before {
+			break
+		}
+	}
 }
 
 func (s *Solver) locked(c *clause) bool {
 	return s.value(c.lits[0]) == lTrue && s.info[c.lits[0].Var()].reason == c
 }
 
+// quickMedian selects the median in place by partial quickselect,
+// reordering xs.
 func quickMedian(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	// Selection by partial sort of a copy (n is small; simplicity wins).
-	cp := append([]float64(nil), xs...)
+	cp := xs
 	k := len(cp) / 2
 	lo, hi := 0, len(cp)-1
 	for lo < hi {
@@ -653,7 +765,7 @@ func (s *Solver) search(assumptions []Lit, budget, conflictsAtStart, checkEvery 
 					s.uncheckedEnqueue(learnt[0], nil)
 				}
 			} else {
-				c := &clause{lits: learnt, learned: true}
+				c := s.newClause(learnt, true)
 				s.learnts = append(s.learnts, c)
 				s.attach(c)
 				s.bumpClause(c)

@@ -1,0 +1,354 @@
+// Command benchjson runs a fixed benchmark set and renders the results
+// as a machine-readable checkpoint (BENCH_<n>.json), or compares a
+// fresh run against the last committed checkpoint and fails on
+// regression. It is the mechanism behind `make bench-json` and the
+// `bench-gate` step of `make ci`; EXPERIMENTS.md documents the schema
+// and the workflow.
+//
+// Generate a checkpoint:
+//
+//	go run ./scripts/benchjson -out BENCH_6.json
+//
+// Gate against the newest committed checkpoint (exit 0 with a notice
+// when none exists yet, so fresh clones and new benchmark sets pass):
+//
+//	go run ./scripts/benchjson -compare-latest
+//
+// The tolerance bands are deliberately asymmetric: wall-clock (ns/op)
+// gets a wide 4x band because CI machines vary, allocations get a
+// tight 1.25x band because allocs/op is deterministic, and the
+// higher-is-better quality metrics (queries-per-blast, hit rates,
+// parallel speedup) may not drop below a fixed fraction of the
+// checkpoint.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const schemaVersion = 1
+
+// defaultBenchSet is the trajectory benchmark set: one end-to-end sweep
+// profile (Fig. 16 Kerberos), the parallel-sweep speedup benchmark, and
+// the incremental-vs-scratch solver benchmark.
+const defaultBenchSet = "BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch"
+
+// Benchmark is one benchmark's measurements: the standard testing
+// quantities plus every custom b.ReportMetric value, keyed by unit.
+type Benchmark struct {
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  float64            `json:"bytesPerOp"`
+	AllocsPerOp float64            `json:"allocsPerOp"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the checkpoint schema. Fields are append-only; Schema bumps
+// only on incompatible changes.
+type File struct {
+	Schema     int                  `json:"schema"`
+	Checkpoint int                  `json:"checkpoint"`
+	Go         string               `json:"go"`
+	Bench      string               `json:"bench"`
+	Benchtime  string               `json:"benchtime"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// gate is one tolerance rule applied during -compare.
+type gate struct {
+	quantity string  // what is compared, for the failure message
+	current  float64 // fresh run
+	baseline float64 // committed checkpoint
+	maxRatio float64 // current/baseline must stay <= maxRatio (0 = unchecked)
+	minRatio float64 // current/baseline must stay >= minRatio (0 = unchecked)
+}
+
+// Lower-is-better bands. ns/op is wide because single-iteration wall
+// clock on shared CI machines is noisy; allocs/op is tight because it
+// is deterministic for a deterministic workload.
+const (
+	nsBand     = 4.0
+	allocsBand = 1.25
+)
+
+// higherBetter maps custom metrics that gate the trajectory to the
+// minimum allowed fraction of the checkpoint value. Metrics not listed
+// here are recorded but informational.
+var higherBetter = map[string]float64{
+	"queries-per-blast": 0.75,
+	"rewrite-hit-rate":  0.75,
+	"cache-hit-rate":    0.75,
+	// Parallel speedup depends on the machine's core count and load;
+	// the band is correspondingly loose.
+	"speedup-vs-serial": 0.6,
+}
+
+func main() {
+	var (
+		benchSet      = flag.String("bench", defaultBenchSet, "benchmark regexp to run")
+		benchtime     = flag.String("benchtime", "1x", "go test -benchtime value")
+		out           = flag.String("out", "", "write the checkpoint JSON to this file (BENCH_<n>.json)")
+		compare       = flag.String("compare", "", "compare a fresh run against this checkpoint file")
+		compareLatest = flag.Bool("compare-latest", false, "compare against the highest-numbered BENCH_<n>.json in the module root")
+	)
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+
+	baselinePath := *compare
+	if *compareLatest {
+		baselinePath, err = latestCheckpoint(root)
+		if err != nil {
+			fatal(err)
+		}
+		if baselinePath == "" {
+			fmt.Println("benchjson: no BENCH_<n>.json checkpoint committed yet; nothing to gate against (run with -out to create one)")
+			return
+		}
+	}
+
+	results, err := runBenchmarks(root, *benchSet, *benchtime)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmarks matched %q", *benchSet))
+	}
+
+	cur := &File{
+		Schema:     schemaVersion,
+		Go:         runtime.Version(),
+		Bench:      *benchSet,
+		Benchtime:  *benchtime,
+		Benchmarks: results,
+	}
+
+	if baselinePath != "" {
+		base, err := readCheckpoint(baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		if failures := compareFiles(cur, base); len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: regression against %s:\n", filepath.Base(baselinePath))
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: within tolerance of %s (%d benchmarks)\n",
+			filepath.Base(baselinePath), len(cur.Benchmarks))
+	}
+
+	if *out != "" {
+		cur.Checkpoint = checkpointNumber(*out)
+		buf, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		path := *out
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(root, path)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: wrote %s\n", path)
+	}
+
+	if *out == "" && baselinePath == "" {
+		// Neither writing nor gating: print for inspection.
+		buf, _ := json.MarshalIndent(cur, "", "  ")
+		fmt.Println(string(buf))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, so the tool works from any subdirectory.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+var checkpointName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// checkpointNumber extracts <n> from a BENCH_<n>.json path; 0 when the
+// name does not follow the convention.
+func checkpointNumber(path string) int {
+	m := checkpointName.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return 0
+	}
+	n, _ := strconv.Atoi(m[1])
+	return n
+}
+
+// latestCheckpoint returns the highest-numbered BENCH_<n>.json in the
+// module root, or "" when none exists.
+func latestCheckpoint(root string) (string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		if n := checkpointNumber(e.Name()); checkpointName.MatchString(e.Name()) && n > bestN {
+			best, bestN = filepath.Join(root, e.Name()), n
+		}
+	}
+	return best, nil
+}
+
+func readCheckpoint(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != schemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this tool speaks %d", path, f.Schema, schemaVersion)
+	}
+	return &f, nil
+}
+
+// runBenchmarks executes the set under `go test -bench` and parses the
+// standard benchmark output format.
+func runBenchmarks(root, set, benchtime string) (map[string]Benchmark, error) {
+	cmd := exec.Command("go", "test", "-run", "NONE",
+		"-bench", set, "-benchtime", benchtime, "-benchmem", ".")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench failed: %v\n%s", err, out)
+	}
+	return parseBenchOutput(string(out))
+}
+
+// parseBenchOutput extracts one Benchmark per result line. The format
+// is: name, iteration count, then value/unit pairs —
+//
+//	BenchmarkX-8  1  12345 ns/op  67 B/op  8 allocs/op  0.95 hit-rate
+//
+// The -<procs> suffix is stripped so checkpoint keys are stable across
+// machines.
+func parseBenchOutput(out string) (map[string]Benchmark, error) {
+	results := make(map[string]Benchmark)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				b.Metrics[unit] = val
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		results[name] = b
+	}
+	return results, nil
+}
+
+// compareFiles applies the tolerance bands of every benchmark present
+// in the baseline; benchmarks only in the current run are new and pass
+// by definition. Returns human-readable failure descriptions.
+func compareFiles(cur, base *File) []string {
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bb := base.Benchmarks[name]
+		cb, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in checkpoint but missing from this run", name))
+			continue
+		}
+		gates := []gate{
+			{quantity: "ns/op", current: cb.NsPerOp, baseline: bb.NsPerOp, maxRatio: nsBand},
+			{quantity: "allocs/op", current: cb.AllocsPerOp, baseline: bb.AllocsPerOp, maxRatio: allocsBand},
+		}
+		for metric, minRatio := range higherBetter {
+			bv, inBase := bb.Metrics[metric]
+			cv, inCur := cb.Metrics[metric]
+			if !inBase {
+				continue // metric added after the checkpoint: informational
+			}
+			if !inCur {
+				failures = append(failures, fmt.Sprintf("%s: metric %s disappeared (checkpoint %.4g)", name, metric, bv))
+				continue
+			}
+			gates = append(gates, gate{quantity: metric, current: cv, baseline: bv, minRatio: minRatio})
+		}
+		for _, g := range gates {
+			if g.baseline == 0 {
+				continue // nothing to compare against (e.g. allocs not measured)
+			}
+			ratio := g.current / g.baseline
+			if g.maxRatio > 0 && ratio > g.maxRatio {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s %.4g vs checkpoint %.4g (%.2fx, allowed <= %.2fx)",
+					name, g.quantity, g.current, g.baseline, ratio, g.maxRatio))
+			}
+			if g.minRatio > 0 && ratio < g.minRatio {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s %.4g vs checkpoint %.4g (%.2fx, allowed >= %.2fx)",
+					name, g.quantity, g.current, g.baseline, ratio, g.minRatio))
+			}
+		}
+	}
+	return failures
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig16Kerberos-8            1   317065912 ns/op   0.3041 analysis-sec   126755856 B/op   1186144 allocs/op
+BenchmarkSweepParallel-8            1   349499309 ns/op   0.8403 cache-hit-rate   0.7020 rewrite-hit-rate   1.031 speedup-vs-serial   115532776 B/op   1052704 allocs/op
+PASS
+ok      repro   12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	k, ok := got["BenchmarkFig16Kerberos"] // -8 suffix stripped
+	if !ok {
+		t.Fatalf("missing BenchmarkFig16Kerberos (procs suffix not stripped?): %v", got)
+	}
+	if k.NsPerOp != 317065912 || k.AllocsPerOp != 1186144 || k.BytesPerOp != 126755856 {
+		t.Errorf("standard quantities misparsed: %+v", k)
+	}
+	if k.Metrics["analysis-sec"] != 0.3041 {
+		t.Errorf("custom metric misparsed: %+v", k.Metrics)
+	}
+	if sp := got["BenchmarkSweepParallel"]; sp.Metrics["cache-hit-rate"] != 0.8403 {
+		t.Errorf("cache-hit-rate misparsed: %+v", sp.Metrics)
+	}
+}
+
+func mkFile(benchmarks map[string]Benchmark) *File {
+	return &File{Schema: schemaVersion, Benchmarks: benchmarks}
+}
+
+func TestCompareWithinBands(t *testing.T) {
+	base := mkFile(map[string]Benchmark{
+		"BenchmarkX": {NsPerOp: 100, AllocsPerOp: 1000,
+			Metrics: map[string]float64{"queries-per-blast": 4, "cache-hit-rate": 0.8}},
+	})
+	cur := mkFile(map[string]Benchmark{
+		"BenchmarkX": {NsPerOp: 350, AllocsPerOp: 1200, // inside 4x / 1.25x
+			Metrics: map[string]float64{"queries-per-blast": 3.2, "cache-hit-rate": 0.7}},
+	})
+	if fails := compareFiles(cur, base); len(fails) != 0 {
+		t.Errorf("in-band run failed the gate: %v", fails)
+	}
+}
+
+func TestCompareRegressions(t *testing.T) {
+	base := mkFile(map[string]Benchmark{
+		"BenchmarkX": {NsPerOp: 100, AllocsPerOp: 1000,
+			Metrics: map[string]float64{"queries-per-blast": 4}},
+	})
+	for name, cur := range map[string]*File{
+		"slow":          mkFile(map[string]Benchmark{"BenchmarkX": {NsPerOp: 500, AllocsPerOp: 1000, Metrics: map[string]float64{"queries-per-blast": 4}}}),
+		"allocs":        mkFile(map[string]Benchmark{"BenchmarkX": {NsPerOp: 100, AllocsPerOp: 1300, Metrics: map[string]float64{"queries-per-blast": 4}}}),
+		"metric":        mkFile(map[string]Benchmark{"BenchmarkX": {NsPerOp: 100, AllocsPerOp: 1000, Metrics: map[string]float64{"queries-per-blast": 2}}}),
+		"metric-gone":   mkFile(map[string]Benchmark{"BenchmarkX": {NsPerOp: 100, AllocsPerOp: 1000}}),
+		"bench-missing": mkFile(map[string]Benchmark{}),
+	} {
+		if fails := compareFiles(cur, base); len(fails) == 0 {
+			t.Errorf("%s regression passed the gate", name)
+		}
+	}
+}
+
+func TestCompareNewBenchmarkAndMetricPass(t *testing.T) {
+	base := mkFile(map[string]Benchmark{
+		"BenchmarkX": {NsPerOp: 100, AllocsPerOp: 1000},
+	})
+	cur := mkFile(map[string]Benchmark{
+		"BenchmarkX": {NsPerOp: 100, AllocsPerOp: 1000,
+			Metrics: map[string]float64{"cache-hit-rate": 0.9}}, // post-checkpoint metric
+		"BenchmarkNew": {NsPerOp: 5, AllocsPerOp: 7},
+	})
+	if fails := compareFiles(cur, base); len(fails) != 0 {
+		t.Errorf("additive run failed the gate: %v", fails)
+	}
+}
+
+func TestCheckpointDiscovery(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_x.json", "notes.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_10.json" {
+		t.Errorf("latestCheckpoint = %q, want BENCH_10.json", got)
+	}
+	if n := checkpointNumber(got); n != 10 {
+		t.Errorf("checkpointNumber = %d, want 10", n)
+	}
+
+	empty := t.TempDir()
+	if got, err := latestCheckpoint(empty); err != nil || got != "" {
+		t.Errorf("empty dir: got %q, %v; want \"\", nil", got, err)
+	}
+}

@@ -39,4 +39,7 @@ func (s *Stats) Add(other Stats) {
 	s.TermsBlasted += other.TermsBlasted
 	s.BlastPasses += other.BlastPasses
 	s.LearntsReused += other.LearntsReused
+	s.CacheHits += other.CacheHits
+	s.LearntsDropped += other.LearntsDropped
+	s.ArenaBytesReused += other.ArenaBytesReused
 }

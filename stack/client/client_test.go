@@ -99,6 +99,11 @@ func TestCheckSourcesRemoteByteIdentity(t *testing.T) {
 		if gotOut != wantOut {
 			t.Errorf("workers=%d: remote stream diverged\n--- got ---\n%s--- want ---\n%s", workers, gotOut, wantOut)
 		}
+		// ArenaBytesReused measures the serving process's allocator reuse,
+		// which legitimately depends on deployment topology (how many
+		// checker instances the work is spread over) — every analysis
+		// quantity must still match exactly.
+		gotSt.ArenaBytesReused, wantSt.ArenaBytesReused = 0, 0
 		if gotSt != wantSt {
 			t.Errorf("workers=%d: stats diverged: remote %+v, local %+v", workers, gotSt, wantSt)
 		}

@@ -285,7 +285,8 @@ func TestSweepStatsTrailer(t *testing.T) {
 	}
 	lines := strings.Split(strings.TrimRight(w.Body.String(), "\n"), "\n")
 	last := lines[len(lines)-1]
-	for _, key := range []string{`"stats"`, `"rewriteHits"`, `"blastPasses"`, `"learntsReused"`} {
+	for _, key := range []string{`"stats"`, `"rewriteHits"`, `"blastPasses"`, `"learntsReused"`,
+		`"cacheHits"`, `"learntsDropped"`, `"arenaBytesReused"`} {
 		if !strings.Contains(last, key) {
 			t.Errorf("stats trailer missing %s: %s", key, last)
 		}

@@ -110,6 +110,10 @@ func TestShardedRemoteByteIdentity(t *testing.T) {
 	if got != want {
 		t.Errorf("sharded remote stream diverged from local\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
+	// ArenaBytesReused tracks per-process allocator reuse and so depends
+	// on how the work is spread across replicas; all analysis quantities
+	// must still match exactly.
+	gotSt.ArenaBytesReused, wantSt.ArenaBytesReused = 0, 0
 	if gotSt != wantSt {
 		t.Errorf("sharded remote stats diverged: %+v vs %+v", gotSt, wantSt)
 	}

@@ -122,6 +122,16 @@ func WithScratchSolving(on bool) Option {
 	return func(c *config) { c.opts.ScratchSolve = on }
 }
 
+// WithLearntBudget bounds the learned clauses an incremental solving
+// session carries from one query into the next: after each query the
+// learnt database is trimmed toward n (locked and binary clauses
+// always survive). Bounds a long session's solver memory at a small
+// cost in rediscovered conflicts. Zero (the default) means unbounded;
+// ignored under WithScratchSolving, where nothing outlives a query.
+func WithLearntBudget(n int) Option {
+	return func(c *config) { c.opts.LearntBudget = n }
+}
+
 // WithBufferedSweep selects the legacy collect-then-merge sweep
 // strategy instead of the default O(Workers)-memory streaming emitter.
 // Output is byte-identical either way. Ignored when Sweep is given a
@@ -169,20 +179,31 @@ type Stats struct {
 	TermsBlasted  int64 `json:"termsBlasted"`
 	BlastPasses   int64 `json:"blastPasses"`
 	LearntsReused int64 `json:"learntsReused"`
+	// CacheHits counts term constructions answered from the builder's
+	// hash-consing table (commuted chains canonicalize onto one node);
+	// LearntsDropped counts learned clauses discarded by database
+	// reductions and budget trims; ArenaBytesReused counts bytes served
+	// from recycled term-arena slabs instead of fresh allocations.
+	CacheHits        int64 `json:"cacheHits"`
+	LearntsDropped   int64 `json:"learntsDropped"`
+	ArenaBytesReused int64 `json:"arenaBytesReused"`
 }
 
 func statsOf(st core.Stats) Stats {
 	return Stats{
-		Functions:     st.Functions,
-		Blocks:        st.Blocks,
-		Queries:       st.Queries,
-		Timeouts:      st.Timeouts,
-		RewriteHits:   st.RewriteHits,
-		TermsCreated:  st.TermsCreated,
-		FastPaths:     st.FastPaths,
-		TermsBlasted:  st.TermsBlasted,
-		BlastPasses:   st.BlastPasses,
-		LearntsReused: st.LearntsReused,
+		Functions:        st.Functions,
+		Blocks:           st.Blocks,
+		Queries:          st.Queries,
+		Timeouts:         st.Timeouts,
+		RewriteHits:      st.RewriteHits,
+		TermsCreated:     st.TermsCreated,
+		FastPaths:        st.FastPaths,
+		TermsBlasted:     st.TermsBlasted,
+		BlastPasses:      st.BlastPasses,
+		LearntsReused:    st.LearntsReused,
+		CacheHits:        st.CacheHits,
+		LearntsDropped:   st.LearntsDropped,
+		ArenaBytesReused: st.ArenaBytesReused,
 	}
 }
 
