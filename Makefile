@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet staticcheck vulncheck test race stackd-race bench-smoke bench bench-json bench-gate fuzz-smoke service-smoke cover race-cover ci
+.PHONY: all build vet staticcheck vulncheck test race stackd-race fleet-race bench-smoke bench bench-json bench-gate fuzz-smoke service-smoke cover race-cover ci
 
 all: build
 
@@ -44,6 +44,16 @@ race:
 stackd-race:
 	$(GO) test -race ./stack/... ./cmd/stackd/...
 
+# The fleet fault-injection tests under the race detector: replica
+# death mid-sweep, Retry-After backoff, health transitions, auth, and
+# the metrics/compression middleware. race-cover already runs these
+# once; ci repeats them with -count=2 to shake out scheduling-order
+# flakiness in the retry and probing paths specifically.
+fleet-race:
+	$(GO) test -race -count=2 \
+		-run 'Death|DeadReplica|RetryAfter|RetryDisabled|Health|Duplicate|Metrics|Auth|Gzip|Attribution' \
+		./stack/shard ./stack/client ./stack/service
+
 # Short smoke run of the Figure 16 Kerberos profile plus the parallel
 # sweep and incremental-vs-scratch benchmarks (speedup-vs-serial,
 # rewrite-hit-rate, queries-per-blast metrics).
@@ -77,7 +87,9 @@ fuzz-smoke:
 
 # End-to-end service smoke: build stackd + the stack CLI, start two
 # replicas, and require a sharded `stack -remote` run (text and jsonl)
-# plus a raw POST /v1/sweep to be byte-identical to the local run.
+# plus a raw POST /v1/sweep to be byte-identical to the local run —
+# including after one of the two replicas is SIGKILLed mid-sweep. Also
+# scrapes /metrics and exercises bearer-token auth.
 service-smoke:
 	./scripts/service-smoke.sh
 
@@ -92,4 +104,4 @@ race-cover:
 	$(GO) test -race -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: vet staticcheck vulncheck build race-cover bench-smoke bench-gate fuzz-smoke service-smoke
+ci: vet staticcheck vulncheck build race-cover fleet-race bench-smoke bench-gate fuzz-smoke service-smoke

@@ -9,7 +9,7 @@
 //	debian [-packages N] [-files N] [-funcs N] [-seed N] [-j N]
 //	       [-timeout D] [-max-conflicts N] [-perf]
 //	       [-stream] [-format text|jsonl|sarif] [-buffered]
-//	       [-remote host1,host2,...]
+//	       [-remote host1,host2,...] [-auth-token T]
 //
 // With -perf it instead runs the three Figure 16 package profiles
 // (Kerberos-, Postgres-, and Linux-sized) and prints the table rows.
@@ -31,13 +31,16 @@
 // mutually exclusive (-stream is streaming by definition).
 //
 // -remote runs the sweep against stackd replicas instead of the local
-// solver: the archive's files are flattened into one batch, sharded
-// round-robin across the replicas, and streamed back in archive order
-// through the same sinks (requires -stream; the replicas' solver
-// settings apply, and the text stream is byte-identical to a local
-// -stream run). The batch API carries per-file diagnostics only, so
-// no summary block is printed and the jsonl lines omit the
-// package/function/timing fields of a local sweep.
+// solver: the archive's files are flattened into one batch, dealt to
+// the least-loaded healthy replicas, and streamed back in archive
+// order through the same sinks (requires -stream; the replicas'
+// solver settings apply, and the text stream is byte-identical to a
+// local -stream run — a replica dying mid-sweep is retried on the
+// survivors without disturbing the stream). -auth-token sends the
+// bearer token stackd -auth-token demands. The batch API carries
+// per-file diagnostics only, so no summary block is printed and the
+// jsonl lines omit the package/function/timing fields of a local
+// sweep.
 package main
 
 import (
@@ -49,6 +52,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/stack"
+	"repro/stack/client"
 	"repro/stack/shard"
 )
 
@@ -63,6 +67,7 @@ func main() {
 	format := flag.String("format", "text", "streaming sink format: text, jsonl, or sarif")
 	buffered := flag.Bool("buffered", false, "use the legacy buffered merge instead of streaming")
 	remote := flag.String("remote", "", "comma-separated stackd replica addresses; sweep runs remotely (requires -stream)")
+	authToken := flag.String("auth-token", "", "bearer token for the replicas (with -remote)")
 	flag.Parse()
 	if *stream && *buffered {
 		fmt.Fprintln(os.Stderr, "debian: -stream and -buffered are mutually exclusive")
@@ -134,7 +139,7 @@ func main() {
 	}
 
 	if *remote != "" {
-		remoteSweep(ctx, *remote, pkgs, sink)
+		remoteSweep(ctx, *remote, *authToken, pkgs, sink)
 		return
 	}
 
@@ -153,15 +158,19 @@ func main() {
 }
 
 // remoteSweep flattens the archive into one batch and streams it
-// through stackd replicas, sharded round-robin. File names follow the
-// local sweeper's "pkg_N.c" convention, so the text sink's stream is
-// byte-identical to a local -stream run.
-func remoteSweep(ctx context.Context, remote string, pkgs []stack.Package, sink stack.Sink) {
-	chk, err := shard.FromHosts(remote)
+// through stackd replicas, dealt least-pending across the healthy
+// fleet. File names follow the local sweeper's "pkg_N.c" convention,
+// so the text sink's stream is byte-identical to a local -stream run.
+func remoteSweep(ctx context.Context, remote, authToken string, pkgs []stack.Package, sink stack.Sink) {
+	chk, err := shard.FromHosts(remote, shard.WithClientOptions(client.WithAuthToken(authToken)))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "debian: -remote: %v\n", err)
 		os.Exit(2)
 	}
+	// An archive sweep runs long enough for replicas to die and come
+	// back; background probes keep the fleet view current.
+	stopHealth := chk.StartHealth(0)
+	defer stopHealth()
 	var srcs []stack.Source
 	for _, p := range pkgs {
 		for fi, f := range p.Files {

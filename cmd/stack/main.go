@@ -27,13 +27,18 @@
 //	                    (a SARIF 2.1.0 log); non-text formats keep
 //	                    stdout machine-consumable (-stats goes to stderr)
 //	-remote hosts       comma-separated stackd replica addresses
-//	                    (host:port); analysis runs remotely, sharded
-//	                    round-robin across the replicas and re-sequenced
-//	                    into input order — the output is byte-identical
-//	                    to a local run with the same analysis options.
-//	                    Solver flags (-timeout, -max-conflicts, -j,
-//	                    -no-*) then configure nothing: the replicas'
-//	                    stackd settings apply.
+//	                    (host:port); analysis runs remotely, dealt to
+//	                    the least-loaded healthy replicas and
+//	                    re-sequenced into input order — the output is
+//	                    byte-identical to a local run with the same
+//	                    analysis options, even when a replica dies
+//	                    mid-sweep (its unfinished tail is retried on
+//	                    the survivors). Solver flags (-timeout,
+//	                    -max-conflicts, -j, -no-*) then configure
+//	                    nothing: the replicas' stackd settings apply.
+//	-auth-token T       bearer token sent to the replicas (pairs with
+//	                    stackd -auth-token); only meaningful with
+//	                    -remote
 package main
 
 import (
@@ -44,6 +49,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/stack"
+	"repro/stack/client"
 	"repro/stack/shard"
 )
 
@@ -60,17 +66,22 @@ func main() {
 	fnoNull := flag.Bool("fno-delete-null-pointer-checks", false, "assume -fno-delete-null-pointer-checks (§7)")
 	format := flag.String("format", "text", "output format: text, jsonl, or sarif")
 	remote := flag.String("remote", "", "comma-separated stackd replica addresses; analysis runs remotely")
+	authToken := flag.String("auth-token", "", "bearer token for the replicas (with -remote)")
 	flag.Parse()
 
 	// The Checker is where local and remote runs meet: everything after
 	// this switch is oblivious to where the solver executes.
 	var chk stack.Checker
 	if *remote != "" {
-		d, err := shard.FromHosts(*remote)
+		d, err := shard.FromHosts(*remote, shard.WithClientOptions(client.WithAuthToken(*authToken)))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stack: -remote: %v\n", err)
 			os.Exit(2)
 		}
+		// Background probing folds a replica that recovers mid-run back
+		// into the fleet while retries are still backing off.
+		stopHealth := d.StartHealth(0)
+		defer stopHealth()
 		chk = d
 	} else {
 		chk = stack.New(append(common.Options(),

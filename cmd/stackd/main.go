@@ -6,7 +6,7 @@
 // Usage:
 //
 //	stackd [-addr :8591] [-timeout 5s] [-max-conflicts N] [-j N]
-//	       [-max-concurrent N] [-request-timeout 30s]
+//	       [-max-concurrent N] [-request-timeout 30s] [-auth-token T]
 //
 // Endpoints (v2):
 //
@@ -17,6 +17,18 @@
 //	                  jsonl|text|sarif, ?stats=1 appends a stats
 //	                  trailer (see stack/service)
 //	GET  /healthz     liveness probe
+//	GET  /metrics     operational counters as JSON: per-endpoint
+//	                  request/error counts and latency histograms, the
+//	                  in-flight gauge, and cumulative solver stats
+//	                  (queries, rewrite hits, blast passes, cache
+//	                  hits, ...) summed across every request served
+//
+// -auth-token protects the analysis endpoints with a bearer token
+// (clients send Authorization: Bearer <token>; cmd/stack and
+// cmd/debian take the same flag); /healthz and /metrics stay open so
+// probes and scrapes need no credentials. Responses are gzip-
+// compressed when the client accepts it, without disturbing per-file
+// streaming.
 //
 // The shared solver flags (-timeout, -max-conflicts, -j) mean the same
 // thing as in the stack and debian CLIs; -j also sets how many sources
@@ -49,12 +61,14 @@ func main() {
 	addr := flag.String("addr", ":8591", "listen address")
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent analyses (0 = one per CPU)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "whole-request analysis budget (0 = none)")
+	authToken := flag.String("auth-token", "", "bearer token required on the analysis endpoints (empty = open)")
 	flag.Parse()
 
 	az := stack.New(common.Options()...)
 	srv := service.New(az, service.Options{
 		MaxConcurrent:  *maxConcurrent,
 		RequestTimeout: *requestTimeout,
+		AuthToken:      *authToken,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

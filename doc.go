@@ -44,27 +44,39 @@
 //
 //   - stack/client.Client speaks the stackd v2 HTTP API (POST
 //     /v1/analyze, POST /v1/sweep streaming JSONL), decoding sweep
-//     results line by line as the server flushes them;
-//   - stack/shard.Dispatcher fans a batch round-robin across N
-//     replica Checkers and re-sequences their streams through the
-//     shared emitter.
+//     results line by line as the server flushes them, with a
+//     production transport (bounded dial/TLS/header phases, no
+//     overall timeout) and per-replica error attribution;
+//   - stack/shard.Dispatcher runs a batch across N replica Checkers
+//     as a real fleet: sources are dealt in input order to the
+//     least-loaded healthy replica, /healthz probing (StartHealth)
+//     and observed transport faults maintain per-replica up/down
+//     state, a replica that dies mid-sweep has its unemitted tail
+//     retried on the survivors (re-sequenced through the shared
+//     emitter), and saturated replicas (HTTP 503) are retried with
+//     exponential backoff honoring the server's Retry-After hint.
 //
 // A sharded remote run is byte-identical to a local single-process
-// run on the same inputs and options — the property the service smoke
-// job (make service-smoke) enforces end to end.
+// run on the same inputs and options — even across a replica death —
+// the property the service smoke job (make service-smoke) enforces
+// end to end, SIGKILL included.
 //
 // # Commands
 //
 //   - cmd/stack: the file checker CLI (the paper's stack-build
 //     workflow, §4.1), a thin client of the stack package; -remote
-//     host1,host2,... runs the same inputs against stackd replicas,
-//     -format selects text/JSONL/SARIF output;
+//     host1,host2,... runs the same inputs against stackd replicas
+//     (-auth-token sends their bearer token), -format selects
+//     text/JSONL/SARIF output;
 //   - cmd/debian: the §6.4–6.5 synthetic-archive sweep, with
 //     streaming text/JSONL/SARIF output and a -remote mode over the
 //     batch API;
 //   - cmd/stackd: the analysis service — POST /v1/analyze, streaming
-//     POST /v1/sweep, and /healthz over HTTP with per-request
-//     contexts, bounded concurrency, and graceful shutdown;
+//     POST /v1/sweep, /healthz, and a JSON GET /metrics (request
+//     counts, latency histograms, in-flight gauge, cumulative solver
+//     stats) over HTTP with per-request contexts, bounded
+//     concurrency, optional bearer-token auth (-auth-token),
+//     streaming-safe gzip compression, and graceful shutdown;
 //   - cmd/optsurvey: the §2–3 optimizer/compiler survey tables.
 //
 // The benchmarks in bench_test.go regenerate every table and figure

@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
-# End-to-end smoke of the stackd v2 batch/streaming surface:
+# End-to-end smoke of the stackd v2 batch/streaming surface and the
+# fleet operations around it:
 #
 #   1. build stackd + the stack CLI;
 #   2. start TWO stackd replicas;
 #   3. run the same inputs locally and through
-#      `stack -remote replica1,replica2` (sharded round-robin) in both
-#      text and jsonl formats, and require byte-identical output — the
-#      acceptance bar of the remote/sharded API;
+#      `stack -remote replica1,replica2` (dealt across the fleet) in
+#      both text and jsonl formats, and require byte-identical output —
+#      the acceptance bar of the remote/sharded API;
 #   4. POST a raw /v1/sweep batch (curl, when available) and diff the
-#      JSONL stream against the local sink output.
+#      JSONL stream against the local sink output;
+#   5. scrape GET /metrics and check the traffic just generated shows
+#      up in the counters;
+#   6. start a token-protected replica: an unauthenticated sweep must
+#      answer 401, `stack -remote -auth-token` must match local bytes;
+#   7. SIGKILL one of the two replicas in the middle of a large sweep
+#      and require the surviving replica's retry path to still produce
+#      byte-identical output.
 #
 # Run via `make service-smoke`; CI runs it on every push.
 set -euo pipefail
@@ -107,5 +115,46 @@ if command -v curl >/dev/null 2>&1; then
 else
     echo "== curl not installed; skipping the raw /v1/sweep POST check"
 fi
+
+if command -v curl >/dev/null 2>&1; then
+    echo "== GET /metrics reflects the traffic"
+    curl -sS "http://127.0.0.1:$port1/metrics" > "$workdir/metrics.json"
+    grep -q '"/v1/sweep"' "$workdir/metrics.json"
+    grep -q '"solver"' "$workdir/metrics.json"
+    # At least one endpoint served a nonzero number of requests.
+    grep -Eq '"requests":[1-9]' "$workdir/metrics.json"
+fi
+
+echo "== bearer-token auth"
+port3=${STACKD_SMOKE_PORT3:-18593}
+"$workdir/stackd" -addr "127.0.0.1:$port3" -timeout 0 -auth-token smoketoken &
+pids+=($!)
+wait_port "$port3"
+if command -v curl >/dev/null 2>&1; then
+    code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+        --data-binary "@$workdir/batch.json" \
+        "http://127.0.0.1:$port3/v1/sweep?format=jsonl")
+    if [ "$code" != "401" ]; then
+        echo "unauthenticated sweep answered $code, want 401" >&2
+        exit 1
+    fi
+fi
+run_stack -remote "127.0.0.1:$port3" -auth-token smoketoken -format jsonl "${inputs[@]}" > "$workdir/auth.jsonl"
+diff -u "$workdir/local.jsonl" "$workdir/auth.jsonl"
+
+echo "== kill a replica mid-sweep: byte identity survives"
+# A batch large enough to still be in flight when the kill lands; the
+# dispatcher must retry the dead replica's unfinished tail on the
+# survivor and keep the stream byte-identical to the local run.
+big=()
+for _ in $(seq 1 40); do
+    big+=("${inputs[@]}")
+done
+run_stack -timeout 0 -format jsonl "${big[@]}" > "$workdir/local-big.jsonl"
+( sleep 0.2; kill -9 "${pids[1]}" 2>/dev/null || true ) &
+killer=$!
+run_stack -remote "127.0.0.1:$port1,127.0.0.1:$port2" -format jsonl "${big[@]}" > "$workdir/remote-big.jsonl"
+wait "$killer" 2>/dev/null || true
+diff -u "$workdir/local-big.jsonl" "$workdir/remote-big.jsonl"
 
 echo "== service smoke OK"

@@ -11,6 +11,14 @@
 // replica's: they were fixed when its stackd was started. The client
 // only carries sources over and results back, which is what makes a
 // remote run byte-identical to a local one configured the same way.
+//
+// Every error a Client returns is attributed to its replica: it
+// unwraps to a *ReplicaError carrying the base URL, so in a fleet a
+// dead replica is named, not just "unexpected EOF". Failures of the
+// transport itself (dial, TLS, a mid-stream disconnect) additionally
+// unwrap to a *TransportError, which is what the shard dispatcher
+// treats as retryable on another replica — as opposed to the
+// replica's own verdict about the input, which is final.
 package client
 
 import (
@@ -20,16 +28,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/stack"
 )
 
 // Client is an HTTP stack.Checker speaking the stackd v2 API.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	token string // bearer token for the replica's analysis endpoints
 }
 
 var _ stack.Checker = (*Client)(nil)
@@ -38,11 +50,38 @@ var _ stack.Checker = (*Client)(nil)
 type Option func(*Client)
 
 // WithHTTPClient substitutes the underlying *http.Client (for custom
-// transports, TLS, or test doubles). The default is a plain
-// &http.Client{} — no client-side timeout, so a long sweep streams
-// for as long as the request context allows.
+// transports, TLS, or test doubles), replacing the default transport
+// entirely.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithAuthToken sends the token as an Authorization: Bearer header on
+// every request — the client half of the service's AuthToken option.
+func WithAuthToken(token string) Option {
+	return func(c *Client) { c.token = token }
+}
+
+// newTransport returns the production default transport: every phase
+// that can hang on a black-holed replica — dialing, the TLS handshake,
+// waiting for response headers — has its own bound, while the response
+// body itself has none, so a long JSONL sweep streams for as long as
+// the request context allows. There is deliberately no overall
+// http.Client.Timeout for the same reason.
+func newTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ResponseHeaderTimeout: 60 * time.Second,
+		ExpectContinueTimeout: time.Second,
+		IdleConnTimeout:       90 * time.Second,
+		MaxIdleConnsPerHost:   16,
+		ForceAttemptHTTP2:     true,
+	}
 }
 
 // New returns a Client for the replica at base — "host:port",
@@ -53,26 +92,115 @@ func New(base string, opts ...Option) *Client {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	c := &Client{base: base, hc: &http.Client{}}
+	c := &Client{base: base, hc: &http.Client{Transport: newTransport()}}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
 }
 
+// Base returns the normalized base URL of the replica this client
+// talks to — the name used in error attribution and by the shard
+// dispatcher's health reporting and duplicate detection.
+func (c *Client) Base() string { return c.base }
+
+// ReplicaError attributes a failure to the replica that produced it.
+// Every non-context error a Client returns unwraps to one, so shard
+// errors name the dead replica instead of an anonymous stream.
+type ReplicaError struct {
+	// Replica is the base URL of the replica the request went to.
+	Replica string
+	Err     error
+}
+
+func (e *ReplicaError) Error() string { return fmt.Sprintf("replica %s: %v", e.Replica, e.Err) }
+func (e *ReplicaError) Unwrap() error { return e.Err }
+
+// TransportError marks a failure of the transport itself — dial, TLS,
+// a connection reset, a stream truncated mid-decode — as opposed to an
+// answer the replica chose to give. Transport failures are the ones a
+// dispatcher may retry on another replica: the input was never judged.
+type TransportError struct {
+	Err error
+}
+
+func (e *TransportError) Error() string { return e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
 // StatusError is a non-2xx answer from the replica, carrying the
 // decoded error message and the HTTP status.
 type StatusError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's backoff hint from the Retry-After
+	// header (0 when absent): stackd sends it on 503 when admission is
+	// saturated, and callers — the shard dispatcher's backoff path —
+	// should not retry this replica sooner.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("stackd: %s (HTTP %d)", e.Message, e.StatusCode)
 }
 
+// parseRetryAfter decodes a Retry-After header: delta-seconds or an
+// HTTP date. Absent or malformed values are 0.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// wrap attributes err to this client's replica. Context errors pass
+// through untouched: they are the caller's cancellation, not the
+// replica's fault, and the shard dispatcher's root-cause selection
+// depends on seeing them bare.
+func (c *Client) wrap(err error) error {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return &ReplicaError{Replica: c.base, Err: err}
+}
+
+// Healthz probes the replica's GET /healthz endpoint, returning nil
+// when the replica answers 200. The shard dispatcher uses it for
+// background health probing; callers should bound ctx.
+func (c *Client) Healthz(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return c.wrap(err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return c.wrap(&TransportError{Err: err})
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode != http.StatusOK {
+		return c.wrap(&StatusError{
+			StatusCode: resp.StatusCode,
+			Message:    "healthz: " + resp.Status,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		})
+	}
+	return nil
+}
+
 // post issues one JSON POST and returns the response, translating
-// non-2xx statuses into *StatusError.
+// non-2xx statuses into *StatusError and transport failures into
+// *TransportError, both attributed to the replica.
 func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
 	enc, err := json.Marshal(body)
 	if err != nil {
@@ -80,12 +208,18 @@ func (c *Client) post(ctx context.Context, path string, body any) (*http.Respons
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(enc))
 	if err != nil {
-		return nil, err
+		return nil, c.wrap(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, c.wrap(&TransportError{Err: err})
 	}
 	if resp.StatusCode != http.StatusOK {
 		defer resp.Body.Close()
@@ -98,7 +232,11 @@ func (c *Client) post(ctx context.Context, path string, body any) (*http.Respons
 				msg = e.Error
 			}
 		}
-		return nil, &StatusError{StatusCode: resp.StatusCode, Message: msg}
+		return nil, c.wrap(&StatusError{
+			StatusCode: resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		})
 	}
 	return resp, nil
 }
@@ -115,7 +253,10 @@ func (c *Client) CheckSource(ctx context.Context, name, src string) (*stack.Resu
 	defer resp.Body.Close()
 	var res stack.Result
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-		return nil, fmt.Errorf("decoding analyze response: %w", err)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, c.wrap(&TransportError{Err: fmt.Errorf("decoding analyze response: %w", err)})
 	}
 	return &res, nil
 }
@@ -171,13 +312,14 @@ func (c *Client) CheckSources(ctx context.Context, srcs []stack.Source, emit fun
 			if ctx.Err() != nil {
 				return st, ctx.Err()
 			}
-			return st, fmt.Errorf("decoding sweep stream: %w", err)
+			return st, c.wrap(&TransportError{Err: fmt.Errorf("decoding sweep stream: %w", err)})
 		}
 		switch {
 		case line.Error != "":
 			// The server's mid-stream error trailer carries the failing
-			// source's name, same as a local CheckSources error.
-			return st, errors.New(line.Error)
+			// source's name, same as a local CheckSources error. It is
+			// the replica's verdict on the input, not a transport fault.
+			return st, c.wrap(errors.New(line.Error))
 		case line.Stats != nil:
 			st = *line.Stats
 		default:

@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/stack"
+	"repro/stack/service"
+)
+
+// TestParseRetryAfter: both RFC forms decode; garbage and the past are
+// zero.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		h    string
+		want time.Duration
+	}{
+		{"", 0},
+		{"7", 7 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.h); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.h, got, tc.want)
+		}
+	}
+	// An HTTP date a minute out decodes to roughly that long.
+	h := time.Now().Add(time.Minute).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(h); got < 50*time.Second || got > 70*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want ~1m", h, got)
+	}
+}
+
+// TestStatusErrorRetryAfter: a 503's Retry-After header survives into
+// the StatusError the caller sees — the hint the shard dispatcher's
+// backoff honors.
+func TestStatusErrorRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"saturated"}`))
+	}))
+	defer ts.Close()
+	_, err := New(ts.URL).CheckSources(context.Background(),
+		[]stack.Source{{Name: "x.c", Text: "int x;"}}, nil)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error = %v (%T), want *StatusError", err, err)
+	}
+	if se.StatusCode != http.StatusServiceUnavailable || se.RetryAfter != 7*time.Second {
+		t.Errorf("StatusError = %+v, want 503 with RetryAfter 7s", se)
+	}
+	if se.Message != "saturated" {
+		t.Errorf("message = %q, want the server's error body", se.Message)
+	}
+}
+
+// TestErrorAttribution: every failure names the replica it came from —
+// transport faults additionally as *TransportError, status answers as
+// *StatusError — and both unwrap from the same chain.
+func TestErrorAttribution(t *testing.T) {
+	c := New("127.0.0.1:1") // nothing listens here
+	_, err := c.CheckSource(context.Background(), "x.c", "int x;")
+	if err == nil || !strings.Contains(err.Error(), c.Base()) {
+		t.Fatalf("error = %v, want one naming %s", err, c.Base())
+	}
+	var re *ReplicaError
+	if !errors.As(err, &re) || re.Replica != c.Base() {
+		t.Errorf("error does not unwrap to a ReplicaError for %s: %v", c.Base(), err)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Errorf("connection refusal is not a TransportError: %v", err)
+	}
+
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no"}`, http.StatusForbidden)
+	}))
+	defer ts.Close()
+	c = New(ts.URL)
+	_, err = c.CheckSource(context.Background(), "x.c", "int x;")
+	if err == nil || !strings.Contains(err.Error(), c.Base()) {
+		t.Fatalf("status error = %v, want one naming %s", err, c.Base())
+	}
+	if !errors.As(err, &re) {
+		t.Errorf("status error does not unwrap to a ReplicaError: %v", err)
+	}
+	if errors.As(err, &te) {
+		t.Errorf("a served 403 is not a transport fault: %v", err)
+	}
+}
+
+// TestHealthz: the probe distinguishes a healthy replica, a sick one,
+// and a dead address.
+func TestHealthz(t *testing.T) {
+	c := newReplica(t, stack.New())
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Errorf("healthy replica: %v", err)
+	}
+
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer sick.Close()
+	err := New(sick.URL).Healthz(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.StatusCode != http.StatusInternalServerError {
+		t.Errorf("sick replica: %v, want a 500 StatusError", err)
+	}
+
+	err = New("127.0.0.1:1").Healthz(context.Background())
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Errorf("dead address: %v, want a TransportError", err)
+	}
+}
+
+// TestAuthTokenRoundTrip: WithAuthToken satisfies a token-protected
+// replica; without it the 401 surfaces as a StatusError.
+func TestAuthTokenRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(service.New(stack.New(), service.Options{AuthToken: "s3cret"}))
+	defer ts.Close()
+
+	res, err := New(ts.URL, WithAuthToken("s3cret")).CheckSource(context.Background(), "x.c", "int f(void) { return 0; }")
+	if err != nil || res.File != "x.c" {
+		t.Errorf("authorized analyze: %v, %+v", err, res)
+	}
+	_, err = New(ts.URL).CheckSource(context.Background(), "x.c", "int f(void) { return 0; }")
+	var se *StatusError
+	if !errors.As(err, &se) || se.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unauthorized analyze: %v, want a 401 StatusError", err)
+	}
+}
+
+// TestDefaultTransport: New installs the production transport — header
+// phases bounded, no overall client timeout so long sweeps can stream
+// indefinitely.
+func TestDefaultTransport(t *testing.T) {
+	c := New("example.com")
+	if c.hc.Timeout != 0 {
+		t.Errorf("client timeout = %v; an overall timeout would kill long JSONL streams", c.hc.Timeout)
+	}
+	tr, ok := c.hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("transport is %T, want *http.Transport", c.hc.Transport)
+	}
+	if tr.ResponseHeaderTimeout == 0 || tr.TLSHandshakeTimeout == 0 || tr.DialContext == nil {
+		t.Errorf("transport phases unbounded: %+v", tr)
+	}
+	// WithHTTPClient still replaces everything.
+	custom := &http.Client{}
+	if c := New("example.com", WithHTTPClient(custom)); c.hc != custom {
+		t.Error("WithHTTPClient did not substitute the client")
+	}
+}

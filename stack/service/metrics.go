@@ -1,0 +1,276 @@
+// Service observability and hardening middleware: the GET /metrics
+// endpoint (in-flight gauge, per-endpoint request counts and latency
+// histograms, cumulative solver statistics), optional bearer-token
+// auth on the analysis endpoints, and streaming-safe gzip response
+// compression. Everything is plain JSON over atomics — no external
+// metrics dependency — so a fleet of stackd replicas is observable
+// with curl alone.
+package service
+
+import (
+	"compress/gzip"
+	"crypto/subtle"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/stack"
+)
+
+// latencyBucketsMs are the histogram upper bounds in milliseconds;
+// observations above the last bound land in the implicit +Inf bucket.
+var latencyBucketsMs = [...]int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// histogram is a fixed-bucket latency histogram over atomics. Buckets
+// are cumulative-free (each observation lands in exactly one bucket);
+// /metrics reports the bounds alongside the counts.
+type histogram struct {
+	counts  [len(latencyBucketsMs) + 1]atomic.Int64
+	totalMs atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := d.Milliseconds()
+	h.totalMs.Add(ms)
+	for i, ub := range latencyBucketsMs[:] {
+		if ms <= ub {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(latencyBucketsMs)].Add(1)
+}
+
+func (h *histogram) snapshot() histogramSnapshot {
+	s := histogramSnapshot{BucketsMs: latencyBucketsMs[:], TotalMs: h.totalMs.Load()}
+	s.Counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// histogramSnapshot is the JSON form of a histogram: Counts[i] holds
+// observations <= BucketsMs[i]; the final extra count is the overflow
+// (+Inf) bucket.
+type histogramSnapshot struct {
+	BucketsMs []int64 `json:"bucketsMs"`
+	Counts    []int64 `json:"counts"`
+	TotalMs   int64   `json:"totalMs"`
+}
+
+// endpointMetrics tracks one endpoint's traffic.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status >= 400
+	latency  histogram
+}
+
+// metrics is the server-wide metric registry.
+type metrics struct {
+	start     time.Time
+	inFlight  atomic.Int64
+	endpoints map[string]*endpointMetrics // keyed by route, fixed at construction
+
+	solverMu sync.Mutex
+	solver   stack.Stats // cumulative solver effort across all requests
+}
+
+func newMetrics(routes ...string) *metrics {
+	m := &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(routes))}
+	for _, r := range routes {
+		m.endpoints[r] = &endpointMetrics{}
+	}
+	return m
+}
+
+// addSolver folds one request's solver stats into the cumulative
+// totals reported by /metrics.
+func (m *metrics) addSolver(st stack.Stats) {
+	m.solverMu.Lock()
+	m.solver.Add(st)
+	m.solverMu.Unlock()
+}
+
+// endpointSnapshot is the JSON form of one endpoint's counters.
+type endpointSnapshot struct {
+	Requests int64             `json:"requests"`
+	Errors   int64             `json:"errors"`
+	Latency  histogramSnapshot `json:"latency"`
+}
+
+// metricsSnapshot is the GET /metrics response body.
+type metricsSnapshot struct {
+	UptimeSeconds int64                       `json:"uptimeSeconds"`
+	InFlight      int64                       `json:"inFlight"`
+	Endpoints     map[string]endpointSnapshot `json:"endpoints"`
+	// Solver aggregates the solver effort of every request served so
+	// far — the same counters as a sweep's ?stats=1 trailer (queries,
+	// rewriteHits, blastPasses, cacheHits, ...), summed service-wide.
+	Solver stack.Stats `json:"solver"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"method not allowed"})
+		return
+	}
+	m := s.metrics
+	snap := metricsSnapshot{
+		UptimeSeconds: int64(time.Since(m.start).Seconds()),
+		// This handler runs under instrument, so the gauge includes the
+		// scrape itself; report the others.
+		InFlight: m.inFlight.Load() - 1,
+		Endpoints:     make(map[string]endpointSnapshot, len(m.endpoints)),
+	}
+	for route, em := range m.endpoints {
+		snap.Endpoints[route] = endpointSnapshot{
+			Requests: em.requests.Load(),
+			Errors:   em.errors.Load(),
+			Latency:  em.latency.snapshot(),
+		}
+	}
+	m.solverMu.Lock()
+	snap.Solver = m.solver
+	m.solverMu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// statusWriter records the response status for error accounting while
+// forwarding streaming flushes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// gzipWriter compresses the response when the client asked for it,
+// flushing the compressor on every downstream Flush so per-file
+// streaming survives compression: each sweep line reaches the wire as
+// a complete gzip block the client can decode immediately.
+type gzipWriter struct {
+	http.ResponseWriter
+	gz      *gzip.Writer
+	started bool
+}
+
+func (gw *gzipWriter) WriteHeader(code int) {
+	if !gw.started {
+		gw.started = true
+		gw.Header().Set("Content-Encoding", "gzip")
+		gw.Header().Add("Vary", "Accept-Encoding")
+		gw.Header().Del("Content-Length")
+	}
+	gw.ResponseWriter.WriteHeader(code)
+}
+
+func (gw *gzipWriter) Write(p []byte) (int, error) {
+	if !gw.started {
+		gw.WriteHeader(http.StatusOK)
+	}
+	return gw.gz.Write(p)
+}
+
+func (gw *gzipWriter) Flush() {
+	if gw.started {
+		_ = gw.gz.Flush()
+	}
+	if f, ok := gw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (gw *gzipWriter) close() {
+	if gw.started {
+		_ = gw.gz.Close()
+	}
+}
+
+var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(nil) }}
+
+// acceptsGzip reports whether the request advertises gzip support.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc := strings.TrimSpace(part)
+		if enc == "gzip" || strings.HasPrefix(enc, "gzip;") {
+			return true
+		}
+	}
+	return false
+}
+
+// authorized checks the bearer token on protected endpoints; with no
+// token configured every request passes. Comparison is constant-time.
+func (s *Server) authorized(r *http.Request) bool {
+	if s.opts.AuthToken == "" {
+		return true
+	}
+	const prefix = "Bearer "
+	h := r.Header.Get("Authorization")
+	if !strings.HasPrefix(h, prefix) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(strings.TrimPrefix(h, prefix)), []byte(s.opts.AuthToken)) == 1
+}
+
+// instrument wraps a route handler with the operational middleware:
+// request accounting + latency histogram + in-flight gauge, optional
+// bearer auth (analysis endpoints only), and gzip compression when the
+// client accepts it.
+func (s *Server) instrument(route string, requireAuth bool, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.endpoints[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		em.requests.Add(1)
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+
+		sw := &statusWriter{ResponseWriter: w}
+		var out http.ResponseWriter = sw
+		var gw *gzipWriter
+		if !s.opts.DisableCompression && acceptsGzip(r) {
+			gz := gzipPool.Get().(*gzip.Writer)
+			gz.Reset(sw)
+			gw = &gzipWriter{ResponseWriter: sw, gz: gz}
+			out = gw
+			defer func() {
+				gw.close()
+				gzipPool.Put(gz)
+			}()
+		}
+
+		if requireAuth && !s.authorized(r) {
+			out.Header().Set("WWW-Authenticate", `Bearer realm="stackd"`)
+			writeJSON(out, http.StatusUnauthorized, errorResponse{"missing or invalid bearer token"})
+		} else {
+			h(out, r)
+		}
+
+		em.latency.observe(time.Since(start))
+		if sw.status >= 400 {
+			em.errors.Add(1)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/stack"
+)
+
+func getMetrics(t *testing.T, h http.Handler) metricsSnapshot {
+	t.Helper()
+	w := doJSON(t, h, http.MethodGet, "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, body %s", w.Code, w.Body.String())
+	}
+	var snap metricsSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics body does not decode: %v", err)
+	}
+	return snap
+}
+
+// TestMetricsCounters: /metrics reflects live traffic — request and
+// error counts per endpoint, latency observations, and cumulative
+// solver stats folded in from both analysis endpoints.
+func TestMetricsCounters(t *testing.T) {
+	srv := newTestServer(Options{})
+
+	reqBody, _ := json.Marshal(map[string]string{"name": "fig1.c", "source": fig1Src})
+	if w := doJSON(t, srv, http.MethodPost, "/v1/analyze", string(reqBody)); w.Code != http.StatusOK {
+		t.Fatalf("analyze = %d", w.Code)
+	}
+	if w := doJSON(t, srv, http.MethodPost, "/v1/analyze", "{"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad analyze = %d", w.Code)
+	}
+	if w := doJSON(t, srv, http.MethodPost, "/v1/sweep?stats=1", sweepBody(t, sweepBatch())); w.Code != http.StatusOK {
+		t.Fatalf("sweep = %d", w.Code)
+	}
+	if w := doJSON(t, srv, http.MethodGet, "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", w.Code)
+	}
+
+	snap := getMetrics(t, srv)
+	an := snap.Endpoints["/v1/analyze"]
+	if an.Requests != 2 || an.Errors != 1 {
+		t.Errorf("/v1/analyze requests/errors = %d/%d, want 2/1", an.Requests, an.Errors)
+	}
+	sw := snap.Endpoints["/v1/sweep"]
+	if sw.Requests != 1 || sw.Errors != 0 {
+		t.Errorf("/v1/sweep requests/errors = %d/%d, want 1/0", sw.Requests, sw.Errors)
+	}
+	if hz := snap.Endpoints["/healthz"]; hz.Requests != 1 {
+		t.Errorf("/healthz requests = %d, want 1", hz.Requests)
+	}
+	var observed int64
+	for _, c := range an.Latency.Counts {
+		observed += c
+	}
+	if observed != an.Requests {
+		t.Errorf("latency observations = %d, want one per request (%d)", observed, an.Requests)
+	}
+	if len(an.Latency.Counts) != len(an.Latency.BucketsMs)+1 {
+		t.Errorf("histogram shape: %d counts for %d bounds", len(an.Latency.Counts), len(an.Latency.BucketsMs))
+	}
+	// One successful analyze + one full sweep both fold into the solver
+	// aggregate; the sweep batch alone runs dozens of queries.
+	if snap.Solver.Queries == 0 || snap.Solver.Functions == 0 {
+		t.Errorf("solver aggregate empty: %+v", snap.Solver)
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("inFlight = %d at rest, want 0", snap.InFlight)
+	}
+
+	// The /metrics read itself is instrumented too.
+	snap2 := getMetrics(t, srv)
+	if m := snap2.Endpoints["/metrics"]; m.Requests < 1 {
+		t.Errorf("/metrics requests = %d, want >= 1", m.Requests)
+	}
+
+	if w := doJSON(t, srv, http.MethodPost, "/metrics", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", w.Code)
+	}
+}
+
+// TestMetricsInFlight: the in-flight gauge counts a sweep that is
+// still streaming.
+func TestMetricsInFlight(t *testing.T) {
+	chk := &gatedChecker{reached: make(chan struct{}), gate: make(chan struct{})}
+	srv := New(chk, Options{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(chk.gate) }) }
+	defer release()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		doJSON(t, srv, http.MethodPost, "/v1/sweep", sweepBody(t, []stack.Source{
+			{Name: "a.c", Text: cleanSrc}, {Name: "b.c", Text: cleanSrc},
+		}))
+	}()
+	<-chk.reached
+	if snap := getMetrics(t, srv); snap.InFlight < 1 {
+		t.Errorf("inFlight = %d during a parked sweep, want >= 1", snap.InFlight)
+	}
+	release()
+	<-done
+	if snap := getMetrics(t, srv); snap.InFlight != 0 {
+		t.Errorf("inFlight = %d after the sweep, want 0", snap.InFlight)
+	}
+}
+
+// TestAuthToken: with AuthToken set, the analysis endpoints demand the
+// bearer token while /healthz and /metrics stay open for probes and
+// scrapes.
+func TestAuthToken(t *testing.T) {
+	srv := newTestServer(Options{AuthToken: "s3cret"})
+	reqBody, _ := json.Marshal(map[string]string{"source": cleanSrc})
+
+	do := func(path, method, body, token string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		return w
+	}
+
+	for _, path := range []string{"/v1/analyze", "/v1/sweep"} {
+		if w := do(path, http.MethodPost, string(reqBody), ""); w.Code != http.StatusUnauthorized {
+			t.Errorf("%s without token = %d, want 401", path, w.Code)
+		} else if w.Header().Get("WWW-Authenticate") == "" {
+			t.Errorf("%s 401 without WWW-Authenticate", path)
+		}
+		if w := do(path, http.MethodPost, string(reqBody), "wrong"); w.Code != http.StatusUnauthorized {
+			t.Errorf("%s with wrong token = %d, want 401", path, w.Code)
+		}
+	}
+	if w := do("/v1/analyze", http.MethodPost, string(reqBody), "s3cret"); w.Code != http.StatusOK {
+		t.Errorf("analyze with token = %d, body %s", w.Code, w.Body.String())
+	}
+	if w := do("/v1/sweep", http.MethodPost, sweepBody(t, sweepBatch()[:2]), "s3cret"); w.Code != http.StatusOK {
+		t.Errorf("sweep with token = %d, body %s", w.Code, w.Body.String())
+	}
+	if w := do("/healthz", http.MethodGet, "", ""); w.Code != http.StatusOK {
+		t.Errorf("healthz without token = %d, want 200 (probes must not need auth)", w.Code)
+	}
+	if w := do("/metrics", http.MethodGet, "", ""); w.Code != http.StatusOK {
+		t.Errorf("metrics without token = %d, want 200 (scrapes must not need auth)", w.Code)
+	}
+
+	// 401s count as errors on the endpoint.
+	snap := getMetrics(t, srv)
+	if an := snap.Endpoints["/v1/analyze"]; an.Errors < 2 {
+		t.Errorf("/v1/analyze errors = %d, want the 401s counted", an.Errors)
+	}
+}
+
+// TestGzipSweep: an Accept-Encoding: gzip sweep is compressed on the
+// wire and decompresses to exactly the bytes of an uncompressed run —
+// compression must not disturb byte identity.
+func TestGzipSweep(t *testing.T) {
+	az := stack.New(stack.WithSolverTimeout(0))
+	srv := New(az, Options{})
+	body := sweepBody(t, sweepBatch())
+
+	plain := doJSON(t, srv, http.MethodPost, "/v1/sweep", body)
+	if plain.Code != http.StatusOK {
+		t.Fatalf("plain sweep = %d", plain.Code)
+	}
+	if enc := plain.Header().Get("Content-Encoding"); enc != "" {
+		t.Fatalf("plain response Content-Encoding = %q, want none", enc)
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+	req.Header.Set("Accept-Encoding", "gzip")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("gzip sweep = %d", w.Code)
+	}
+	if enc := w.Header().Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+	zr, err := gzip.NewReader(w.Body)
+	if err != nil {
+		t.Fatalf("response is not gzip: %v", err)
+	}
+	got, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("decompressing: %v", err)
+	}
+	if string(got) != plain.Body.String() {
+		t.Errorf("gzip stream decompresses to different bytes\n--- got ---\n%s--- want ---\n%s", got, plain.Body.String())
+	}
+}
+
+// TestGzipDisabled: DisableCompression serves identity bytes even when
+// the client advertises gzip.
+func TestGzipDisabled(t *testing.T) {
+	srv := newTestServer(Options{DisableCompression: true})
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", w.Code)
+	}
+	if enc := w.Header().Get("Content-Encoding"); enc != "" {
+		t.Errorf("Content-Encoding = %q with compression disabled", enc)
+	}
+}
+
+// TestGzipStreaming: per-file flushing survives compression — each
+// sweep line is readable from the gzip stream while the sweep is still
+// parked on a later file.
+func TestGzipStreaming(t *testing.T) {
+	chk := &gatedChecker{reached: make(chan struct{}), gate: make(chan struct{})}
+	ts := httptest.NewServer(New(chk, Options{}))
+	defer ts.Close()
+	var once sync.Once
+	release := func() { once.Do(func() { close(chk.gate) }) }
+	defer release()
+
+	body := sweepBody(t, []stack.Source{
+		{Name: "early.c", Text: cleanSrc},
+		{Name: "late.c", Text: cleanSrc},
+	})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// Setting the header ourselves disables the transport's transparent
+	// decompression, so resp.Body is the raw gzip stream off the wire.
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+
+	<-chk.reached // sweep is parked before its final file
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatalf("opening gzip stream mid-sweep: %v (first flush never reached the wire)", err)
+	}
+	dec := json.NewDecoder(zr)
+	var first stack.FileResult
+	if err := dec.Decode(&first); err != nil || first.File != "early.c" {
+		t.Fatalf("first streamed line = %+v (err %v), want early.c while the sweep is parked", first, err)
+	}
+	release()
+	var last stack.FileResult
+	if err := dec.Decode(&last); err != nil || last.File != "late.c" {
+		t.Errorf("final line = %+v (err %v), want late.c", last, err)
+	}
+}

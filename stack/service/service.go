@@ -20,6 +20,12 @@
 //	                    BlastPasses, LearntsReused, ...) to the JSONL
 //	                    stream.
 //	GET  /healthz     → 200 {"status": "ok"}
+//	GET  /metrics     → 200 JSON: in-flight gauge, per-endpoint request
+//	                    counts and latency histograms, and the
+//	                    cumulative solver statistics (queries, rewrite
+//	                    hits, blast passes, cache hits, ...) of every
+//	                    request served — the observability surface a
+//	                    replica fleet is monitored through.
 //
 // Non-POST methods on the analysis endpoints answer 405 with an Allow
 // header. Analysis runs under the request's context capped by the
@@ -27,6 +33,13 @@
 // budget aborts the solver within one check interval. A semaphore
 // bounds concurrent requests; saturation answers 503 with Retry-After
 // rather than queueing unboundedly.
+//
+// With Options.AuthToken set, the analysis endpoints require an
+// Authorization: Bearer header with that token (compared in constant
+// time); /healthz and /metrics stay open so probes and monitors need
+// no credentials. Responses are gzip-compressed when the client
+// accepts it, with the compressor flushed per streamed line so
+// compression never trades away per-file streaming.
 //
 // The server runs any stack.Checker — normally the in-process
 // *stack.Analyzer, but a stack/shard dispatcher slots in unchanged,
@@ -63,6 +76,13 @@ type Options struct {
 	// MaxSweepSources caps the number of sources per sweep batch; <= 0
 	// means 4096.
 	MaxSweepSources int
+	// AuthToken, when non-empty, gates the analysis endpoints behind
+	// an Authorization: Bearer token. Liveness (/healthz) and
+	// observability (/metrics) stay open.
+	AuthToken string
+	// DisableCompression turns off gzip response compression (on by
+	// default for clients that send Accept-Encoding: gzip).
+	DisableCompression bool
 }
 
 const (
@@ -73,10 +93,11 @@ const (
 
 // Server serves the analysis API over one shared Checker.
 type Server struct {
-	chk  stack.Checker
-	opts Options
-	sem  chan struct{}
-	mux  *http.ServeMux
+	chk     stack.Checker
+	opts    Options
+	sem     chan struct{}
+	mux     *http.ServeMux
+	metrics *metrics
 }
 
 // New returns a Server exposing chk — usually a *stack.Analyzer, but
@@ -95,14 +116,19 @@ func New(chk stack.Checker, opts Options) *Server {
 		opts.MaxSweepSources = defaultMaxSweepSources
 	}
 	s := &Server{
-		chk:  chk,
-		opts: opts,
-		sem:  make(chan struct{}, opts.MaxConcurrent),
-		mux:  http.NewServeMux(),
+		chk:     chk,
+		opts:    opts,
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+		mux:     http.NewServeMux(),
+		metrics: newMetrics("/v1/analyze", "/v1/sweep", "/healthz", "/metrics"),
 	}
-	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	// Analysis endpoints sit behind the full middleware stack (metrics,
+	// bearer auth, compression); liveness and observability skip auth
+	// so probes and monitors need no credentials.
+	s.mux.HandleFunc("/v1/analyze", s.instrument("/v1/analyze", true, s.handleAnalyze))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", true, s.handleSweep))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", false, s.handleMetrics))
 	return s
 }
 
@@ -244,6 +270,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeAnalysisError(w, err)
 		return
 	}
+	s.metrics.addSolver(res.Stats)
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -385,6 +412,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// not buffer-then-flush.
 		sw.flush()
 	})
+	s.metrics.addSolver(st)
 	if err != nil {
 		if !sw.started {
 			// Nothing on the wire yet (the error struck before the

@@ -1,0 +1,318 @@
+// Fault-injection tests for the dispatcher's fleet behavior: replica
+// death mid-sweep, dead-at-dial replicas, saturation backoff honoring
+// Retry-After, and health-state transitions under probing.
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/stack"
+	"repro/stack/client"
+	"repro/stack/service"
+)
+
+// newReplicaServer starts a real stackd replica and returns its client.
+func newReplicaServer(t *testing.T) *client.Client {
+	t.Helper()
+	ts := httptest.NewServer(service.New(stack.New(stack.WithSolverTimeout(0)), service.Options{}))
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL)
+}
+
+// decodeSweepBody extracts the batch from a /v1/sweep request.
+func decodeSweepBody(t *testing.T, r *http.Request) []stack.Source {
+	t.Helper()
+	var req struct {
+		Sources []struct{ Name, Source string } `json:"sources"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		t.Errorf("decoding sweep body: %v", err)
+		return nil
+	}
+	srcs := make([]stack.Source, len(req.Sources))
+	for i, s := range req.Sources {
+		srcs[i] = stack.Source{Name: s.Name, Text: s.Source}
+	}
+	return srcs
+}
+
+// TestShardReplicaDeathByteIdentity is the acceptance criterion for
+// the retry path: one replica streams a genuine first result and then
+// its connection dies mid-sweep; the dispatcher retries the unemitted
+// tail on the survivor, and the caller's stream is byte-identical to a
+// local single-process run.
+func TestShardReplicaDeathByteIdentity(t *testing.T) {
+	srcs := batch()
+	local := stack.New(stack.WithSolverTimeout(0))
+	want, _ := jsonl(t, local, srcs)
+	if want == "" {
+		t.Fatal("local run produced nothing; identity test is vacuous")
+	}
+
+	// The flaky replica answers its first sweep with one genuine result
+	// line — computed by a real analyzer configured like the fleet — and
+	// then aborts the connection, the observable shape of a replica
+	// killed mid-sweep. Later requests (probes, would-be retries) reach
+	// a real service.
+	az := stack.New(stack.WithSolverTimeout(0))
+	real := service.New(az, service.Options{})
+	var died atomic.Bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sweep" || !died.CompareAndSwap(false, true) {
+			real.ServeHTTP(w, r)
+			return
+		}
+		subset := decodeSweepBody(t, r)
+		if len(subset) == 0 {
+			t.Error("flaky replica got an empty subset")
+			panic(http.ErrAbortHandler)
+		}
+		var lines []stack.FileResult
+		if _, err := az.CheckSources(r.Context(), subset[:1], func(fr stack.FileResult) {
+			lines = append(lines, fr)
+		}); err != nil {
+			t.Errorf("flaky replica analyzing its first source: %v", err)
+			panic(http.ErrAbortHandler)
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		enc := json.NewEncoder(w)
+		for _, fr := range lines {
+			_ = enc.Encode(fr)
+		}
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler) // die before the rest of the subset
+	}))
+	defer flaky.Close()
+
+	d := New(client.New(flaky.URL), newReplicaServer(t))
+	got, st := jsonl(t, d, srcs)
+	if got != want {
+		t.Errorf("stream across a replica death diverged from local\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if st.Queries == 0 {
+		t.Errorf("stats = %+v, want the survivor's effort counted", st)
+	}
+	// The death was observed as a transport fault: the flaky replica is
+	// marked down until a probe revives it.
+	h := d.Health()
+	if h[0].Up || h[0].Transitions == 0 {
+		t.Errorf("flaky replica health = %+v, want down with a transition", h[0])
+	}
+	if h[1].LastErr != "" || !h[1].Up {
+		t.Errorf("survivor health = %+v, want up", h[1])
+	}
+	// No pending charge may leak out of a finished sweep.
+	for _, rh := range h {
+		if rh.Pending != 0 {
+			t.Errorf("replica %s pending = %d after the sweep, want 0", rh.Name, rh.Pending)
+		}
+	}
+}
+
+// TestShardDeadReplicaFromStart: a replica that refuses connections
+// outright (process gone before the sweep began) costs nothing but a
+// retry — the survivor absorbs its whole subset, byte-identically.
+func TestShardDeadReplicaFromStart(t *testing.T) {
+	srcs := batch()
+	local := stack.New(stack.WithSolverTimeout(0))
+	want, _ := jsonl(t, local, srcs)
+
+	dead := httptest.NewServer(http.HandlerFunc(nil))
+	dead.Close() // the address now refuses connections
+
+	d := New(client.New(dead.URL), newReplicaServer(t))
+	got, _ := jsonl(t, d, srcs)
+	if got != want {
+		t.Errorf("stream with a dead replica diverged from local\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if h := d.Health(); h[0].Up {
+		t.Errorf("dead replica still reported up: %+v", h[0])
+	}
+
+	// A second sweep deals around the replica now known dead (reviveDown
+	// probes it, the probe fails, nothing is assigned to it) and still
+	// matches local output.
+	got2, _ := jsonl(t, d, srcs)
+	if got2 != want {
+		t.Errorf("second sweep diverged\n--- got ---\n%s--- want ---\n%s", got2, want)
+	}
+}
+
+// TestRetryAfterHonored: when a replica answers 503 with Retry-After,
+// the dispatcher's retry provably waits at least that long — even
+// though its own configured backoff is near zero.
+func TestRetryAfterHonored(t *testing.T) {
+	az := stack.New(stack.WithSolverTimeout(0))
+	real := service.New(az, service.Options{})
+	var mu sync.Mutex
+	var sweepTimes []time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sweep" {
+			real.ServeHTTP(w, r)
+			return
+		}
+		mu.Lock()
+		sweepTimes = append(sweepTimes, time.Now())
+		first := len(sweepTimes) == 1
+		mu.Unlock()
+		if first {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"saturated"}`))
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	srcs := batch()
+	want, _ := jsonl(t, stack.New(stack.WithSolverTimeout(0)), srcs)
+	d := New(client.New(ts.URL)).Configure(WithBackoff(time.Millisecond, 2*time.Millisecond))
+	got, _ := jsonl(t, d, srcs)
+	if got != want {
+		t.Errorf("post-backoff stream diverged\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sweepTimes) != 2 {
+		t.Fatalf("replica saw %d sweep attempts, want exactly 2", len(sweepTimes))
+	}
+	if gap := sweepTimes[1].Sub(sweepTimes[0]); gap < 900*time.Millisecond {
+		t.Errorf("retry arrived %v after the 503; Retry-After: 1 was not honored", gap)
+	}
+}
+
+// TestCheckSourceRetryAfterHonored: the single-file path honors the
+// hint too.
+func TestCheckSourceRetryAfterHonored(t *testing.T) {
+	az := stack.New(stack.WithSolverTimeout(0))
+	real := service.New(az, service.Options{})
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt = time.Now()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"saturated"}`))
+		default:
+			secondAt = time.Now()
+			real.ServeHTTP(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	d := New(client.New(ts.URL)).Configure(WithBackoff(time.Millisecond, 2*time.Millisecond))
+	res, err := d.CheckSource(context.Background(), "x.c", "int f(void) { return 0; }")
+	if err != nil || res.File != "x.c" {
+		t.Fatalf("CheckSource after 503: %v, %+v", err, res)
+	}
+	if gap := secondAt.Sub(firstAt); gap < 900*time.Millisecond {
+		t.Errorf("retry arrived %v after the 503; Retry-After: 1 was not honored", gap)
+	}
+}
+
+// TestHealthTransitions: the background prober flips a replica down
+// when /healthz starts failing and back up when it recovers, counting
+// both transitions.
+func TestHealthTransitions(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if healthy.Load() {
+			w.Write([]byte(`{"status":"ok"}`))
+		} else {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	d := New(client.New(ts.URL))
+	stop := d.StartHealth(5 * time.Millisecond)
+	defer stop()
+	stop2 := d.StartHealth(5 * time.Millisecond) // stop is idempotent and instances independent
+	stop2()
+	stop2()
+
+	waitFor := func(what string, pred func(ReplicaHealth) bool) ReplicaHealth {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			h := d.Health()[0]
+			if pred(h) {
+				return h
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("prober never observed %s: %+v", what, h)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	waitFor("initial up state", func(h ReplicaHealth) bool { return h.Up })
+
+	healthy.Store(false)
+	h := waitFor("the down transition", func(h ReplicaHealth) bool { return !h.Up })
+	if h.Transitions == 0 {
+		t.Errorf("down state with no transition counted: %+v", h)
+	}
+	if !strings.Contains(h.LastErr, "503") && !strings.Contains(h.LastErr, "unhealthy") {
+		t.Errorf("LastErr = %q, want the probe failure", h.LastErr)
+	}
+	down := h.Transitions
+
+	healthy.Store(true)
+	h = waitFor("the recovery transition", func(h ReplicaHealth) bool { return h.Up })
+	if h.Transitions <= down {
+		t.Errorf("recovery did not count a transition: %+v", h)
+	}
+	if h.LastErr != "" {
+		t.Errorf("LastErr = %q after recovery, want empty", h.LastErr)
+	}
+}
+
+// TestFromHostsDuplicate: the same replica named twice — even under
+// different spellings — is rejected, not silently double-dealt.
+func TestFromHostsDuplicate(t *testing.T) {
+	for _, list := range []string{
+		"host1:9000,host1:9000",
+		"http://host1:9000, host1:9000/",
+		"host1:9000,host2:9000,host1:9000",
+	} {
+		if _, err := FromHosts(list); err == nil {
+			t.Errorf("FromHosts(%q) accepted a duplicate replica", list)
+		} else if !strings.Contains(err.Error(), "twice") {
+			t.Errorf("FromHosts(%q) error = %v, want one naming the duplicate", list, err)
+		}
+	}
+	if d, err := FromHosts("host1:9000,host2:9000"); err != nil || len(d.replicas) != 2 {
+		t.Errorf("distinct hosts rejected: %v", err)
+	}
+}
+
+// TestRetryDisabled: WithRetryAttempts(0) fails the sweep on the first
+// transport fault instead of failing over.
+func TestRetryDisabled(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(nil))
+	dead.Close()
+	d := New(client.New(dead.URL), newReplicaServer(t)).Configure(WithRetryAttempts(0))
+	_, err := d.CheckSources(context.Background(), batch(), nil)
+	if err == nil || !strings.Contains(err.Error(), "replica ") {
+		t.Fatalf("err = %v, want the dead replica's attributed transport error", err)
+	}
+}

@@ -1,0 +1,175 @@
+// Replica health: up/down state per replica, fed by background
+// /healthz probing and by transport failures observed during sweeps.
+// The dispatcher deals new work around down replicas and retries their
+// unemitted tails on survivors; probes flip a recovered replica back
+// up so it rejoins the fleet without a restart.
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/stack"
+)
+
+// HealthProber is implemented by replicas that expose a liveness
+// probe; client.Client's Healthz (GET /healthz) is the canonical one.
+// Replicas that do not implement it — an in-process *stack.Analyzer —
+// are considered always healthy.
+type HealthProber interface {
+	Healthz(ctx context.Context) error
+}
+
+// replicaState is one replica plus its dispatcher-side bookkeeping.
+type replicaState struct {
+	chk  stack.Checker
+	name string
+	// pending counts sources assigned to this replica's stream and not
+	// yet delivered — the load signal behind least-pending assignment.
+	pending atomic.Int64
+
+	mu          sync.Mutex
+	down        bool
+	lastErr     error
+	transitions int64
+}
+
+func (rs *replicaState) isDown() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.down
+}
+
+// setDown records a failure; the first failure after an up period
+// counts one transition.
+func (rs *replicaState) setDown(err error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.down {
+		rs.down = true
+		rs.transitions++
+	}
+	rs.lastErr = err
+}
+
+// setUp records a successful probe; recovery after a down period
+// counts one transition.
+func (rs *replicaState) setUp() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.down {
+		rs.down = false
+		rs.transitions++
+	}
+	rs.lastErr = nil
+}
+
+// ReplicaHealth is one replica's state snapshot, for operators and
+// tests.
+type ReplicaHealth struct {
+	// Name is the replica's base URL (clients) or a positional name.
+	Name string
+	Up   bool
+	// Pending counts assigned-but-undelivered sources.
+	Pending int64
+	// Transitions counts up↔down flips since construction.
+	Transitions int64
+	// LastErr is the failure that marked the replica down ("" when up).
+	LastErr string
+}
+
+// Health returns a snapshot of every replica's health state.
+func (d *Dispatcher) Health() []ReplicaHealth {
+	out := make([]ReplicaHealth, len(d.replicas))
+	for i, rs := range d.replicas {
+		rs.mu.Lock()
+		out[i] = ReplicaHealth{
+			Name:        rs.name,
+			Up:          !rs.down,
+			Pending:     rs.pending.Load(),
+			Transitions: rs.transitions,
+		}
+		if rs.lastErr != nil {
+			out[i].LastErr = rs.lastErr.Error()
+		}
+		rs.mu.Unlock()
+	}
+	return out
+}
+
+// upIndices returns the indices of replicas not marked down.
+func (d *Dispatcher) upIndices() []int {
+	var ups []int
+	for i, rs := range d.replicas {
+		if !rs.isDown() {
+			ups = append(ups, i)
+		}
+	}
+	return ups
+}
+
+// probe runs one health check of replica i, flipping its up/down
+// state. Replicas without a prober are left as they are (they never
+// transport-fail, so they are never down).
+func (d *Dispatcher) probe(ctx context.Context, i int) {
+	p, ok := d.replicas[i].chk.(HealthProber)
+	if !ok {
+		return
+	}
+	pctx, cancel := context.WithTimeout(ctx, d.probeTimeout)
+	defer cancel()
+	if err := p.Healthz(pctx); err != nil {
+		d.replicas[i].setDown(err)
+	} else {
+		d.replicas[i].setUp()
+	}
+}
+
+// reviveDown synchronously probes only the replicas currently marked
+// down — the cheap sweep-start revalidation that lets a recovered
+// fleet take work again without waiting for the background prober.
+func (d *Dispatcher) reviveDown(ctx context.Context) {
+	for i, rs := range d.replicas {
+		if rs.isDown() {
+			d.probe(ctx, i)
+		}
+	}
+}
+
+// StartHealth begins background health probing: every interval (5s
+// when <= 0) each probeable replica's /healthz is checked and its
+// up/down state updated — the mechanism that takes a dead stackd out
+// of new assignments and folds a recovered one back in. The returned
+// stop function (idempotent) ends probing; callers own the lifecycle:
+//
+//	stop := d.StartHealth(5 * time.Second)
+//	defer stop()
+func (d *Dispatcher) StartHealth(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			for i := range d.replicas {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				d.probe(context.Background(), i)
+			}
+			select {
+			case <-ticker.C:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

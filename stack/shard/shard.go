@@ -5,15 +5,18 @@
 // stackd, or an in-process *stack.Analyzer), so a fleet of stackd
 // replicas checks one batch cooperatively.
 //
-// Sources are dealt round-robin by input index, each replica streams
-// its own subset in subset order, and the dispatcher re-sequences the
-// interleaved streams through the shared in-order emitter
-// (internal/emit) — the same machinery underneath corpus.Sweeper and
-// stack.CheckSources — so the caller observes exactly the local
+// The Dispatcher is fleet-grade, not a static dealer: replicas carry
+// up/down health state fed by background /healthz probing (StartHealth)
+// and by observed transport failures; sources are dealt in input order
+// to the least-pending healthy replica; and when a replica dies
+// mid-sweep, the unemitted tail of its subset is retried on surviving
+// replicas — re-sequenced through the same in-order emitter
+// (internal/emit) — so the caller still observes exactly the local
 // contract: strictly increasing input indices, O(replicas) results
-// buffered, first error in input order wins. A sharded run is
-// byte-identical to a local single-process run on the same inputs
-// and options.
+// buffered, first error in input order wins, and output byte-identical
+// to a local single-process run on the same inputs and options, even
+// across a replica death. Saturated replicas (HTTP 503) are retried
+// with exponential backoff that honors the server's Retry-After hint.
 package shard
 
 import (
@@ -21,8 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	inorder "repro/internal/emit"
 	"repro/stack"
@@ -31,13 +36,66 @@ import (
 
 // Dispatcher implements stack.Checker over a set of replicas.
 type Dispatcher struct {
-	replicas []stack.Checker
+	replicas []*replicaState
 	// windowPerReplica bounds the emitter's buffering (see
 	// CheckSources); fixed at construction.
 	windowPerReplica int
+	// retryAttempts caps how many times one stream's unemitted tail is
+	// retried (across replicas) before the sweep fails.
+	retryAttempts int
+	// backoffBase/backoffMax shape the exponential retry backoff; a
+	// 503's Retry-After hint overrides the computed delay when larger.
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	// probeTimeout bounds one /healthz probe.
+	probeTimeout time.Duration
+	// clientOpts are applied to every client FromHosts constructs.
+	clientOpts []client.Option
 }
 
 var _ stack.Checker = (*Dispatcher)(nil)
+
+// Option configures a Dispatcher (see Configure and FromHosts).
+type Option func(*Dispatcher)
+
+// WithRetryAttempts caps per-stream retries of a failed replica's
+// unemitted tail; 0 disables retry entirely.
+func WithRetryAttempts(n int) Option {
+	return func(d *Dispatcher) {
+		if n >= 0 {
+			d.retryAttempts = n
+		}
+	}
+}
+
+// WithBackoff shapes the exponential retry backoff: no delay before
+// the first retry, then base, 2*base, ... capped at max. A replica's
+// Retry-After hint overrides the computed delay when larger.
+func WithBackoff(base, max time.Duration) Option {
+	return func(d *Dispatcher) {
+		if base > 0 {
+			d.backoffBase = base
+		}
+		if max > 0 {
+			d.backoffMax = max
+		}
+	}
+}
+
+// WithClientOptions passes client options (auth tokens, custom HTTP
+// clients) to every replica client FromHosts constructs.
+func WithClientOptions(opts ...client.Option) Option {
+	return func(d *Dispatcher) { d.clientOpts = append(d.clientOpts, opts...) }
+}
+
+// Configure applies options and returns d for chaining. Not safe to
+// call concurrently with an in-flight CheckSources.
+func (d *Dispatcher) Configure(opts ...Option) *Dispatcher {
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
 
 // New returns a Dispatcher over the given replicas. It panics on an
 // empty replica set: there is nowhere to send work, and the zero-value
@@ -46,46 +104,169 @@ func New(replicas ...stack.Checker) *Dispatcher {
 	if len(replicas) == 0 {
 		panic("shard: New needs at least one replica")
 	}
-	return &Dispatcher{replicas: replicas, windowPerReplica: 4}
+	d := &Dispatcher{
+		windowPerReplica: 4,
+		retryAttempts:    4,
+		backoffBase:      100 * time.Millisecond,
+		backoffMax:       5 * time.Second,
+		probeTimeout:     2 * time.Second,
+	}
+	for i, chk := range replicas {
+		name := fmt.Sprintf("replica%d", i)
+		if c, ok := chk.(*client.Client); ok {
+			name = c.Base()
+		}
+		d.replicas = append(d.replicas, &replicaState{chk: chk, name: name})
+	}
+	return d
 }
 
 // FromHosts returns a Dispatcher of stack/client replicas for a
 // comma-separated address list — the translation behind every CLI's
 // -remote flag, kept in one place. Empty elements are skipped; an
-// effectively empty list is an error.
-func FromHosts(list string) (*Dispatcher, error) {
+// effectively empty list is an error, and so is the same replica named
+// twice (after URL normalization): a duplicate would double-deal two
+// subsets to one replica while the operator believes the load is
+// spread.
+func FromHosts(list string, opts ...Option) (*Dispatcher, error) {
+	var cfg Dispatcher
+	cfg.Configure(opts...) // read clientOpts before constructing clients
+	seen := make(map[string]string)
 	var replicas []stack.Checker
 	for _, h := range strings.Split(list, ",") {
-		if h = strings.TrimSpace(h); h != "" {
-			replicas = append(replicas, client.New(h))
+		if h = strings.TrimSpace(h); h == "" {
+			continue
 		}
+		c := client.New(h, cfg.clientOpts...)
+		if prev, dup := seen[c.Base()]; dup {
+			return nil, fmt.Errorf("replica list %q names %s twice (%q and %q)", list, c.Base(), prev, h)
+		}
+		seen[c.Base()] = h
+		replicas = append(replicas, c)
 	}
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("replica list %q names no addresses", list)
 	}
-	return New(replicas...), nil
+	return New(replicas...).Configure(opts...), nil
 }
 
-// CheckSource routes one source to a replica chosen by name hash, so
-// repeated analyses of the same file land on the same replica (warm
-// caches), while distinct names spread across the fleet.
+// retryable reports whether err is worth retrying on another replica
+// (or on the same one after backoff): failures of the transport itself
+// and saturation answers, where the input was never judged. A
+// replica's verdict about the input — a parse rejection, a mid-stream
+// analysis error naming the source — is final, as is the caller's own
+// cancellation.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if isTransport(err) {
+		return true
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return se.StatusCode == http.StatusServiceUnavailable || se.StatusCode == http.StatusBadGateway
+	}
+	return false
+}
+
+// isTransport reports whether err is a transport-layer failure — the
+// kind that marks a replica down until a probe revives it.
+func isTransport(err error) bool {
+	var te *client.TransportError
+	return errors.As(err, &te)
+}
+
+// retryDelay computes the wait before retry number attempt (0-based):
+// the first retry is immediate, then exponential from backoffBase
+// capped at backoffMax — unless the failure carried a larger
+// Retry-After hint, which is always honored.
+func (d *Dispatcher) retryDelay(attempt int, err error) time.Duration {
+	var delay time.Duration
+	if attempt > 0 {
+		delay = d.backoffBase << (attempt - 1)
+		if delay > d.backoffMax || delay <= 0 {
+			delay = d.backoffMax
+		}
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) && se.RetryAfter > delay {
+		delay = se.RetryAfter
+	}
+	return delay
+}
+
+// CheckSource routes one source to an up replica chosen by name hash,
+// so repeated analyses of the same file land on the same replica (warm
+// caches) while distinct names spread across the fleet. Transport
+// failures mark the replica down and fail over to the next one.
 func (d *Dispatcher) CheckSource(ctx context.Context, name, src string) (*stack.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ups := d.upIndices()
+	if len(ups) == 0 {
+		ups = d.allIndices()
+	}
 	h := fnv.New32a()
 	h.Write([]byte(name))
-	return d.replicas[h.Sum32()%uint32(len(d.replicas))].CheckSource(ctx, name, src)
+	start := int(h.Sum32() % uint32(len(ups)))
+	var lastErr error
+	for attempt := 0; attempt <= d.retryAttempts; attempt++ {
+		r := ups[(start+attempt)%len(ups)]
+		res, err := d.replicas[r].chk.CheckSource(ctx, name, src)
+		if err == nil {
+			return res, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		if isTransport(err) {
+			d.replicas[r].setDown(err)
+		}
+		lastErr = err
+		if delay := d.retryDelay(attempt, err); delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return nil, lastErr
 }
 
-// CheckSources deals the batch round-robin across the replicas
-// (replica r gets input indices r, r+N, r+2N, ...), runs every
-// replica's own streaming CheckSources concurrently, and re-sequences
-// the replies into global input order through the shared emitter.
-// emit observes strictly increasing input indices as soon as each
-// source and every earlier one has finished — across the whole fleet.
+// replicaOutcome is one stream's final state: its summed stats, the
+// error it gave up with (nil for a clean finish), and the global input
+// index at which its emission broke (len(srcs) when complete) — the
+// earliest one across streams is the batch's first error.
+type replicaOutcome struct {
+	stats   stack.Stats
+	err     error
+	failIdx int
+}
+
+// CheckSources deals the batch across the up replicas — each source,
+// in input order, to the replica with the least pending work (with an
+// idle fleet this is exactly round-robin) — runs every replica's own
+// streaming CheckSources concurrently, and re-sequences the replies
+// into global input order through the shared emitter. emit observes
+// strictly increasing input indices as soon as each source and every
+// earlier one has finished — across the whole fleet.
 //
-// On failure the dispatcher cancels the other replicas, emission
-// stops at the earliest failed input index, and that error (already
-// carrying the source name) is returned. The returned Stats sum the
-// replicas' stats for the sources that were analyzed.
+// When a replica's stream breaks mid-sweep (the process died, the
+// connection reset, the POST was refused), the unemitted tail of its
+// subset is retried on a surviving replica, with backoff honoring any
+// Retry-After hint, until it completes or the retry budget is spent —
+// so one dead replica degrades throughput instead of failing the
+// sweep, and the output stays byte-identical to a local run. A
+// replica's own verdict about an input (a parse rejection naming the
+// source) is never retried: emission stops at the earliest failed
+// input index and that error — already naming replica and source — is
+// returned. The returned Stats sum the replicas' stats for the
+// sources that were analyzed.
 func (d *Dispatcher) CheckSources(ctx context.Context, srcs []stack.Source, emit func(stack.FileResult)) (stack.Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -93,19 +274,15 @@ func (d *Dispatcher) CheckSources(ctx context.Context, srcs []stack.Source, emit
 	if len(srcs) == 0 {
 		return stack.Stats{}, nil
 	}
-	n := len(d.replicas)
-	if n > len(srcs) {
-		n = len(srcs)
-	}
-	if n == 1 {
-		return d.replicas[0].CheckSources(ctx, srcs, emit)
-	}
+	// Give replicas marked down a synchronous chance to have recovered
+	// before this batch deals around them.
+	d.reviveDown(ctx)
 
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	// stop unblocks replicas waiting for admission slots once another
-	// replica has failed — the slot they wait for may belong to a
+	// stop unblocks streams waiting for admission slots once another
+	// stream has given up — the slot they wait for may belong to a
 	// result that will now never arrive.
 	stop := make(chan struct{})
 	var stopOnce sync.Once
@@ -116,89 +293,102 @@ func (d *Dispatcher) CheckSources(ctx context.Context, srcs []stack.Source, emit
 		})
 	}
 
-	// Admission must be budgeted PER REPLICA, not just globally: the
+	// Least-pending assignment: deal each source, in input order, to
+	// the up replica with the least assigned-but-undelivered work
+	// (ties to the lowest replica index, so an idle fleet deals exact
+	// round-robin). Down replicas get nothing; if the whole fleet is
+	// marked down, attempting every replica beats refusing outright.
+	avail := d.upIndices()
+	if len(avail) == 0 {
+		avail = d.allIndices()
+	}
+	load := make([]int64, len(d.replicas))
+	for _, r := range avail {
+		load[r] = d.replicas[r].pending.Load()
+	}
+	owner := make([]int, len(srcs))
+	assigned := make([][]int, len(d.replicas))
+	for i := range srcs {
+		best := avail[0]
+		for _, r := range avail[1:] {
+			if load[r] < load[best] {
+				best = r
+			}
+		}
+		owner[i] = best
+		load[best]++
+		assigned[best] = append(assigned[best], i)
+	}
+	active := 0
+	for r, g := range assigned {
+		if len(g) > 0 {
+			active++
+			d.replicas[r].pending.Add(int64(len(g)))
+		}
+	}
+
+	// Admission must be budgeted PER STREAM, not just globally: the
 	// feeder-style users of emit.Ordered admit in global index order,
 	// so the earliest undelivered index always holds a slot — but
-	// replicas admit in their own completion order, and a fast replica
+	// streams admit in their own completion order, and a fast stream
 	// could otherwise consume the entire shared window on indices
-	// after a gap while the slow replica owning the gap starves in
+	// after a gap while the slow stream owning the gap starves in
 	// Admit forever (delivery can't advance past the gap, so no slot
-	// would ever free). With a per-replica quota the gap's owner holds
+	// would ever free). With a per-stream quota the gap's owner holds
 	// zero slots exactly when it needs one — everything it emitted
 	// earlier has already been delivered — so it always proceeds and
 	// delivery always advances. The quota frees on delivery, before
 	// the emitter's own window slot, so the shared Admit below blocks
-	// at most transiently.
-	quota := make([]chan struct{}, n)
+	// at most transiently. Retried tails keep charging the original
+	// owner's quota and are executed by one survivor at a time in
+	// increasing index order, which preserves the invariant the
+	// argument rests on: each stream's emissions are increasing in
+	// global index.
+	quota := make([]chan struct{}, len(d.replicas))
 	for r := range quota {
 		quota[r] = make(chan struct{}, d.windowPerReplica)
 	}
-	ord := inorder.NewOrdered(d.windowPerReplica*n, func(idx int, fr stack.FileResult) {
+	delivered := make([]int, len(d.replicas))
+	ord := inorder.NewOrdered(d.windowPerReplica*active, func(idx int, fr stack.FileResult) {
 		if emit != nil {
 			emit(fr)
 		}
-		<-quota[idx%n] // round-robin dealing: index i belongs to replica i%n
+		r := owner[idx]
+		delivered[r]++
+		d.replicas[r].pending.Add(-1)
+		<-quota[r]
 	})
 
-	type replicaOutcome struct {
-		stats stack.Stats
-		err   error
-		// failIdx is the global input index at which this replica's
-		// stream broke (len(srcs) when it finished cleanly); the
-		// earliest one across replicas is the batch's first error.
-		failIdx int
-	}
-	outcomes := make([]replicaOutcome, n)
+	outcomes := make([]replicaOutcome, len(d.replicas))
 	var wg sync.WaitGroup
-	for r := 0; r < n; r++ {
-		// Replica r's subset, with globals[j] the original index of its
-		// j-th source. Each replica emits its subset in subset order,
-		// so the j-th callback is exactly subset source j.
-		var subset []stack.Source
-		var globals []int
-		for i := r; i < len(srcs); i += n {
-			subset = append(subset, srcs[i])
-			globals = append(globals, i)
+	for r := range d.replicas {
+		if len(assigned[r]) == 0 {
+			outcomes[r] = replicaOutcome{failIdx: len(srcs)}
+			continue
 		}
 		wg.Add(1)
-		go func(r int, subset []stack.Source, globals []int) {
+		go func(r int) {
 			defer wg.Done()
-			emitted := 0
-			st, err := d.replicas[r].CheckSources(ctx, subset, func(fr stack.FileResult) {
-				select {
-				case quota[r] <- struct{}{}:
-				case <-stop:
-					return // another replica failed; drop the tail
-				}
-				if !ord.Admit(stop) {
-					<-quota[r]
-					return
-				}
-				g := globals[fr.Index]
-				fr.Index = g
-				ord.Put(g, fr)
-				emitted++
-			})
-			o := replicaOutcome{stats: st, err: err, failIdx: len(srcs)}
-			if err != nil {
-				if emitted < len(globals) {
-					o.failIdx = globals[emitted]
-				}
-				fail()
-			}
-			outcomes[r] = o
-		}(r, subset, globals)
+			outcomes[r] = d.runStream(ctx, r, assigned[r], srcs, quota[r], ord, stop, fail)
+		}(r)
 	}
 	wg.Wait()
 	ord.Close()
+	// Failed tails were never delivered; release their pending charge
+	// so future assignment is not skewed by a finished sweep.
+	for r := range d.replicas {
+		if leak := len(assigned[r]) - delivered[r]; leak > 0 {
+			d.replicas[r].pending.Add(-int64(leak))
+		}
+	}
 
 	var st stack.Stats
 	for _, o := range outcomes {
 		st.Add(o.stats)
 	}
-	// First error in input order wins — but a replica cancelled BY the
+	// First error in input order wins — but a stream cancelled BY the
 	// dispatcher (we tore the shared context down after another
-	// replica's failure) is a casualty, not a cause, and must not
+	// stream's failure) is a casualty, not a cause, and must not
 	// shadow the root error. When the caller's own context was
 	// cancelled, cancellations are genuine and any of them serves.
 	secondary := func(err error) bool {
@@ -223,4 +413,107 @@ func (d *Dispatcher) CheckSources(ctx context.Context, srcs []stack.Source, emit
 		}
 	}
 	return st, firstErr
+}
+
+// runStream drives the subset owned by replica r to completion: it
+// streams the remaining sources through the current executing replica
+// (initially r itself), and on a retryable failure marks the executor
+// down (transport faults only), picks the least-pending surviving
+// replica, backs off, and retries the unemitted tail — charging
+// admission to r's quota throughout, so the deadlock-freedom argument
+// in CheckSources keeps holding.
+func (d *Dispatcher) runStream(ctx context.Context, r int, globals []int, srcs []stack.Source, quota chan struct{}, ord *inorder.Ordered[stack.FileResult], stop chan struct{}, fail func()) replicaOutcome {
+	exec := r
+	rem := globals
+	var total stack.Stats
+	for attempt := 0; ; attempt++ {
+		subset := make([]stack.Source, len(rem))
+		for j, g := range rem {
+			subset[j] = srcs[g]
+		}
+		// tail is this attempt's view of rem; emitted counts results
+		// actually handed to the emitter, so rem[emitted:] is exactly
+		// the unemitted tail whatever the failure mode.
+		tail := rem
+		emitted := 0
+		stx, err := d.replicas[exec].chk.CheckSources(ctx, subset, func(fr stack.FileResult) {
+			select {
+			case quota <- struct{}{}:
+			case <-stop:
+				return // another stream failed; drop the tail
+			}
+			if !ord.Admit(stop) {
+				<-quota
+				return
+			}
+			g := tail[fr.Index]
+			fr.Index = g
+			ord.Put(g, fr)
+			emitted++
+		})
+		total.Add(stx)
+		rem = rem[emitted:]
+		if err == nil {
+			return replicaOutcome{stats: total, failIdx: len(srcs)}
+		}
+		if len(rem) == 0 {
+			// The stream broke after its last result (between the final
+			// line and the stats trailer, say): the output is complete,
+			// so the batch must not fail — but the replica is still
+			// sick.
+			if isTransport(err) {
+				d.replicas[exec].setDown(err)
+			}
+			return replicaOutcome{stats: total, failIdx: len(srcs)}
+		}
+		if ctx.Err() != nil || !retryable(err) || attempt >= d.retryAttempts {
+			fail()
+			return replicaOutcome{stats: total, err: err, failIdx: rem[0]}
+		}
+		if isTransport(err) {
+			d.replicas[exec].setDown(err)
+		}
+		exec = d.pickRetry(exec)
+		if delay := d.retryDelay(attempt, err); delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				return replicaOutcome{stats: total, err: err, failIdx: rem[0]}
+			case <-ctx.Done():
+				t.Stop()
+				fail()
+				return replicaOutcome{stats: total, err: err, failIdx: rem[0]}
+			}
+		}
+	}
+}
+
+// pickRetry chooses where a failed tail goes next: the least-pending
+// up replica, falling back to the current executor when the whole
+// fleet is marked down (a later probe may revive someone; meanwhile
+// hammering one address is no worse than any other choice).
+func (d *Dispatcher) pickRetry(exec int) int {
+	best := -1
+	for i, rs := range d.replicas {
+		if rs.isDown() {
+			continue
+		}
+		if best == -1 || rs.pending.Load() < d.replicas[best].pending.Load() {
+			best = i
+		}
+	}
+	if best == -1 {
+		return exec
+	}
+	return best
+}
+
+func (d *Dispatcher) allIndices() []int {
+	all := make([]int, len(d.replicas))
+	for i := range all {
+		all[i] = i
+	}
+	return all
 }
