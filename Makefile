@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet staticcheck vulncheck test race stackd-race fleet-race bench-smoke bench bench-json bench-gate fuzz-smoke service-smoke cover race-cover ci
+.PHONY: all build vet staticcheck vulncheck invariants test race stackd-race fleet-race ssa-differential bench-smoke bench bench-json bench-gate fuzz-smoke service-smoke cover race-cover ci
 
 all: build
 
@@ -32,6 +32,12 @@ vulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)" ; \
 	fi
 
+# Structural invariants (one emitter; append-only diagnostic codes),
+# plus the script's own self-test proving the checks can fail.
+invariants:
+	./scripts/invariants.sh
+	./scripts/invariants.sh --self-test
+
 test:
 	$(GO) test ./...
 
@@ -54,11 +60,19 @@ fleet-race:
 		-run 'Death|DeadReplica|RetryAfter|RetryDisabled|Health|Duplicate|Metrics|Auth|Gzip|Attribution' \
 		./stack/shard ./stack/client ./stack/service
 
+# The SSA differential gate under the race detector: byte identity of
+# sweep output with Options.SSA across worker counts, the mem2reg /
+# value-numbering / dead-store unit and exec-differential tests, and
+# the SSA fuzz seed corpus.
+ssa-differential:
+	$(GO) test -race -run 'SSA' ./internal/...
+
 # Short smoke run of the Figure 16 Kerberos profile plus the parallel
-# sweep and incremental-vs-scratch benchmarks (speedup-vs-serial,
-# rewrite-hit-rate, queries-per-blast metrics).
+# sweep, incremental-vs-scratch, and SSA chain-heavy benchmarks
+# (speedup-vs-serial, rewrite-hit-rate, queries-per-blast, and
+# blast-reduction metrics).
 bench-smoke:
-	$(GO) test -run NONE -bench 'BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch' -benchtime=1x
+	$(GO) test -run NONE -bench 'BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch|BenchmarkSSAChainHeavy' -benchtime=1x
 
 # Full paper-figure regeneration (see EXPERIMENTS.md).
 bench:
@@ -69,7 +83,7 @@ bench:
 # PR advances the trajectory. bench-gate reruns the set and fails on
 # regression against the newest committed BENCH_<n>.json; with no
 # checkpoint committed it passes with a notice.
-BENCH_CHECKPOINT ?= 6
+BENCH_CHECKPOINT ?= 7
 bench-json:
 	$(GO) run ./scripts/benchjson -out BENCH_$(BENCH_CHECKPOINT).json
 
@@ -104,4 +118,4 @@ race-cover:
 	$(GO) test -race -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: vet staticcheck vulncheck build race-cover fleet-race bench-smoke bench-gate fuzz-smoke service-smoke
+ci: vet staticcheck vulncheck invariants build race-cover fleet-race ssa-differential bench-smoke bench-gate fuzz-smoke service-smoke

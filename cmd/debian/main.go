@@ -9,7 +9,7 @@
 //	debian [-packages N] [-files N] [-funcs N] [-seed N] [-j N]
 //	       [-timeout D] [-max-conflicts N] [-perf]
 //	       [-stream] [-format text|jsonl|sarif] [-buffered]
-//	       [-remote host1,host2,...] [-auth-token T]
+//	       [-remote host1,host2,...] [-auth-token T] [-fleet-status]
 //
 // With -perf it instead runs the three Figure 16 package profiles
 // (Kerberos-, Postgres-, and Linux-sized) and prints the table rows.
@@ -41,12 +41,19 @@
 // per-file diagnostics only, so no summary block is printed and the
 // jsonl lines omit the package/function/timing fields of a local
 // sweep.
+//
+// -fleet-status (with -remote) skips the sweep entirely: every replica
+// is probed once and the fleet health snapshot is printed as JSON —
+// name, up, pending, transitions, lastErr per replica — with exit
+// status 1 if any replica is down.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -68,7 +75,20 @@ func main() {
 	buffered := flag.Bool("buffered", false, "use the legacy buffered merge instead of streaming")
 	remote := flag.String("remote", "", "comma-separated stackd replica addresses; sweep runs remotely (requires -stream)")
 	authToken := flag.String("auth-token", "", "bearer token for the replicas (with -remote)")
+	fleetStatus := flag.Bool("fleet-status", false, "probe the -remote fleet once and print its health as JSON")
 	flag.Parse()
+	if *fleetStatus {
+		if *remote == "" {
+			fmt.Fprintln(os.Stderr, "debian: -fleet-status requires -remote")
+			os.Exit(2)
+		}
+		d, err := shard.FromHosts(*remote, shard.WithClientOptions(client.WithAuthToken(*authToken)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debian: -remote: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(printFleetStatus(os.Stdout, d))
+	}
 	if *stream && *buffered {
 		fmt.Fprintln(os.Stderr, "debian: -stream and -buffered are mutually exclusive")
 		os.Exit(2)
@@ -155,6 +175,25 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Print(res.Format())
+}
+
+// printFleetStatus probes every replica once, writes the health
+// snapshot as indented JSON, and returns the process exit code: 0 with
+// the whole fleet up, 1 with any replica down.
+func printFleetStatus(w io.Writer, d *shard.Dispatcher) int {
+	health := d.ProbeAll(context.Background())
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(health); err != nil {
+		fmt.Fprintf(os.Stderr, "debian: %v\n", err)
+		return 2
+	}
+	for _, h := range health {
+		if !h.Up {
+			return 1
+		}
+	}
+	return 0
 }
 
 // remoteSweep flattens the archive into one batch and streams it

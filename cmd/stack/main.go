@@ -39,12 +39,19 @@
 //	-auth-token T       bearer token sent to the replicas (pairs with
 //	                    stackd -auth-token); only meaningful with
 //	                    -remote
+//	-fleet-status       probe every -remote replica once and print the
+//	                    fleet health snapshot as JSON (name, up,
+//	                    pending, transitions, lastErr) instead of
+//	                    running an analysis; exits 1 if any replica is
+//	                    down
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/corpus"
@@ -52,6 +59,25 @@ import (
 	"repro/stack/client"
 	"repro/stack/shard"
 )
+
+// printFleetStatus probes every replica once, writes the health
+// snapshot as indented JSON, and returns the process exit code: 0 with
+// the whole fleet up, 1 with any replica down.
+func printFleetStatus(w io.Writer, d *shard.Dispatcher) int {
+	health := d.ProbeAll(context.Background())
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(health); err != nil {
+		fmt.Fprintf(os.Stderr, "stack: %v\n", err)
+		return 2
+	}
+	for _, h := range health {
+		if !h.Up {
+			return 1
+		}
+	}
+	return 0
+}
 
 func main() {
 	common := stack.BindCommonFlags(flag.CommandLine)
@@ -67,7 +93,21 @@ func main() {
 	format := flag.String("format", "text", "output format: text, jsonl, or sarif")
 	remote := flag.String("remote", "", "comma-separated stackd replica addresses; analysis runs remotely")
 	authToken := flag.String("auth-token", "", "bearer token for the replicas (with -remote)")
+	fleetStatus := flag.Bool("fleet-status", false, "probe the -remote fleet once and print its health as JSON")
 	flag.Parse()
+
+	if *fleetStatus {
+		if *remote == "" {
+			fmt.Fprintln(os.Stderr, "stack: -fleet-status requires -remote")
+			os.Exit(2)
+		}
+		d, err := shard.FromHosts(*remote, shard.WithClientOptions(client.WithAuthToken(*authToken)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stack: -remote: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(printFleetStatus(os.Stdout, d))
+	}
 
 	// The Checker is where local and remote runs meet: everything after
 	// this switch is oblivious to where the solver executes.

@@ -59,7 +59,31 @@
 // A sharded remote run is byte-identical to a local single-process
 // run on the same inputs and options — even across a replica death —
 // the property the service smoke job (make service-smoke) enforces
-// end to end, SIGKILL included.
+// end to end, SIGKILL included. For operators, `stack -fleet-status
+// -remote host1,host2` probes every replica once and prints the
+// Dispatcher.ProbeAll health snapshot as JSON, exiting 1 if any
+// replica is down.
+//
+// # SSA analysis layer
+//
+// stack.WithSSA(true) runs a pruned-SSA pass stack over each
+// function before encoding: mem2reg promotes non-escaping
+// address-taken locals to phi-connected values (pruned phi placement
+// on dominance frontiers, with alias-forwarding through the pointer
+// phis the IR builder threads between blocks), same-block
+// value numbering merges structurally identical pure computations
+// without moving any report position, and dead-store elimination
+// drops stores overwritten before any load or call. Promoted values
+// are immutable, so the bit-vector layer hash-conses duplicated
+// computation chains instead of re-blasting them per opaque load —
+// Stats gains promotedAllocas, eliminatedStores, and gvnHits
+// (omitted from the JSON trailer when zero, keeping legacy bytes
+// unchanged). The option is differentially gated: sweep output with
+// SSA on is byte-identical to the legacy pipeline on the archive
+// corpus (raced across worker counts), a fuzz target enforces the
+// per-pass contract on arbitrary programs, and the BENCH_7
+// checkpoint pins the solver-work reduction (make ssa-differential
+// runs the gate; it is part of make ci).
 //
 // # Commands
 //
@@ -86,10 +110,11 @@
 //
 // Performance is tracked as a machine-readable trajectory: committed
 // BENCH_<n>.json checkpoints produced by scripts/benchjson from the
-// trajectory benchmark set (Fig. 16 Kerberos, the parallel sweep, and
-// incremental-vs-scratch solving), recording ns/op, allocs/op, and
-// every custom metric (queries-per-blast, rewrite-hit-rate,
-// cache-hit-rate, speedup-vs-serial). `make bench-json` regenerates
+// trajectory benchmark set (Fig. 16 Kerberos, the parallel sweep,
+// incremental-vs-scratch solving, and the SSA chain-heavy corpus),
+// recording ns/op, allocs/op, and every custom metric
+// (queries-per-blast, rewrite-hit-rate, cache-hit-rate,
+// blast-reduction, speedup-vs-serial). `make bench-json` regenerates
 // the current checkpoint; `make bench-gate` — part of `make ci` —
 // reruns the set and fails on regression outside the tolerance bands
 // against the newest committed checkpoint. EXPERIMENTS.md documents

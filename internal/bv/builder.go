@@ -164,6 +164,11 @@ func (b *Builder) Var(name string, width int) *Term {
 		if t.width != width {
 			panic(fmt.Sprintf("bv: variable %q redeclared with width %d (was %d)", name, width, t.width))
 		}
+		// A re-lookup is a hash-consing hit like any other interned
+		// construction (whole-function value graphs re-read the same
+		// variables constantly), and counting it keeps CacheHits
+		// consistent across Const, Var, and compound terms.
+		b.CacheHits++
 		return t
 	}
 	t := b.alloc()

@@ -629,3 +629,27 @@ func BenchmarkSolveMul16(b *testing.B) {
 		}
 	}
 }
+
+// TestVarRelookupCountsAsCacheHit: re-reading an interned variable is
+// a hash-consing hit like a repeated Const or compound construction —
+// the cache-hit-rate metric must see whole-function value graphs that
+// re-reference the same variables.
+func TestVarRelookupCountsAsCacheHit(t *testing.T) {
+	bld := NewBuilder()
+	x := bld.Var("x", 32)
+	if bld.CacheHits != 0 {
+		t.Fatalf("CacheHits = %d after first interning, want 0", bld.CacheHits)
+	}
+	if bld.Var("x", 32) != x {
+		t.Fatal("re-lookup returned a different term")
+	}
+	if bld.Var("x", 32) != x {
+		t.Fatal("re-lookup returned a different term")
+	}
+	if bld.CacheHits != 2 {
+		t.Fatalf("CacheHits = %d after two re-lookups, want 2", bld.CacheHits)
+	}
+	if bld.TermsCreated != 1 {
+		t.Fatalf("TermsCreated = %d, want 1", bld.TermsCreated)
+	}
+}

@@ -74,6 +74,15 @@ type Options struct {
 	// byte-for-byte comparison requires both budgets unset (zero).
 	// Production callers leave ScratchSolve false.
 	ScratchSolve bool
+	// SSA runs the pruned-SSA pass stack (ir.RunSSAPasses: mem2reg
+	// promotion of non-escaping allocas, value numbering, dead-store
+	// elimination) over each function before UB-condition insertion
+	// and encoding. The passes are engineered so that sweep output is
+	// byte-identical to the legacy pipeline across the synthetic
+	// corpus (TestSSAVsLegacyByteIdentity); the difference is effort —
+	// promoted loads stop encoding as distinct opaque variables, so
+	// downstream terms hash-cons and fewer terms reach the SAT core.
+	SSA bool
 	// Flags models the gcc options discussed in §7 that promise
 	// C*-like semantics for some UB kinds: code is not unstable with
 	// respect to behavior the compiler has been told to define.
@@ -151,6 +160,14 @@ type Stats struct {
 	// has been checked on a warm arena).
 	LearntsDropped   int64
 	ArenaBytesReused int64
+	// SSA pass effort (all zero unless Options.SSA): PromotedAllocas
+	// counts address-taken variables mem2reg rewrote into SSA values,
+	// EliminatedStores counts stores deleted by promotion and
+	// dead-store elimination, GVNHits counts values merged into a
+	// structurally identical representative.
+	PromotedAllocas  int64
+	EliminatedStores int64
+	GVNHits          int64
 }
 
 // Add accumulates other into s. It is the reduction step for
@@ -174,6 +191,9 @@ func (s *Stats) Add(other Stats) {
 	s.LearntsReused += other.LearntsReused
 	s.LearntsDropped += other.LearntsDropped
 	s.ArenaBytesReused += other.ArenaBytesReused
+	s.PromotedAllocas += other.PromotedAllocas
+	s.EliminatedStores += other.EliminatedStores
+	s.GVNHits += other.GVNHits
 }
 
 // Checker is the STACK checker. Create with New; safe for sequential
@@ -256,9 +276,19 @@ func (c *Checker) CheckFunc(ctx context.Context, f *ir.Func) ([]*Report, error) 
 	solver.MaxConflicts = c.opts.MaxConflictsPerQuery
 	solver.Scratch = c.opts.ScratchSolve
 	solver.LearntBudget = c.opts.LearntBudget
+	// The SSA pass stack rewrites the function before anything reads
+	// it: UB conditions, the encoder's caches, and every report anchor
+	// must see the final IR. The passes touch no blocks or edges, so
+	// the dominator tree computed first stays valid.
+	dom := ir.ComputeDom(f)
+	if c.opts.SSA {
+		ps := ir.RunSSAPasses(f, dom)
+		c.stats.PromotedAllocas += int64(ps.PromotedAllocas)
+		c.stats.EliminatedStores += int64(ps.EliminatedStores)
+		c.stats.GVNHits += int64(ps.GVNHits)
+	}
 	enc := newEncoder(bld, f)
 	ubs := insertUBConds(f)
-	dom := ir.ComputeDom(f)
 
 	st := &funcState{
 		c: c, ctx: ctx, f: f, enc: enc, solver: solver, ubs: ubs, dom: dom,

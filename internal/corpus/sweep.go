@@ -126,6 +126,11 @@ type SweepResult struct {
 	CacheHits        int64
 	LearntsDropped   int64
 	ArenaBytesReused int64
+	// PromotedAllocas / EliminatedStores / GVNHits surface the SSA
+	// pass stack (ir.RunSSAPasses); all zero unless Options.SSA.
+	PromotedAllocas  int64
+	EliminatedStores int64
+	GVNHits          int64
 	// ReportLog lists every report with its file, sorted by file, then
 	// position, then algorithm — the deterministic flat view of the
 	// sweep, independent of worker count and scheduling.
@@ -443,6 +448,9 @@ func (a *accumulator) finish(workerStats []core.Stats) *SweepResult {
 	res.CacheHits = st.CacheHits
 	res.LearntsDropped = st.LearntsDropped
 	res.ArenaBytesReused = st.ArenaBytesReused
+	res.PromotedAllocas = st.PromotedAllocas
+	res.EliminatedStores = st.EliminatedStores
+	res.GVNHits = st.GVNHits
 
 	sort.SliceStable(res.ReportLog, func(i, j int) bool {
 		a, b := res.ReportLog[i], res.ReportLog[j]

@@ -1,0 +1,211 @@
+package ir
+
+import "testing"
+
+func TestGVNMergesDuplicateArithmetic(t *testing.T) {
+	src := `
+int f(int a, int b) {
+	int x = (a + b) * 3;
+	int y = (a + b) * 3;
+	return x - y;
+}
+`
+	execDiff(t, src, "f", [][]uint64{{1, 2}, {7, 9}, {0, 0}}, func(f *Func) {
+		if hits := GVN(f); hits < 2 {
+			t.Errorf("GVN hits = %d, want >= 2 (add and mul each duplicated)", hits)
+		}
+	})
+	f := fn(t, build(t, src), "f")
+	GVN(f)
+	if n := countOp(f, OpAdd); n != 1 {
+		t.Errorf("%d adds remain, want 1", n)
+	}
+	if n := countOp(f, OpMul); n != 1 {
+		t.Errorf("%d muls remain, want 1", n)
+	}
+}
+
+// TestGVNChainsCongruence: renumbering operands before hashing closes
+// congruence chains — the second mul only merges because the second
+// add was already renumbered to the first.
+func TestGVNChainsCongruence(t *testing.T) {
+	src := `
+int f(int a, int b, int c) {
+	int x = (a + b) * c;
+	int y = (a + b) * c;
+	int z = (a + b) * c;
+	return x + y + z;
+}
+`
+	f := fn(t, build(t, src), "f")
+	adds := countOp(f, OpAdd)
+	GVN(f)
+	// Three duplicated (a+b) collapse to one; three muls to one; the
+	// result sum adds stay.
+	if n := countOp(f, OpMul); n != 1 {
+		t.Errorf("%d muls remain, want 1", n)
+	}
+	if n := countOp(f, OpAdd); n != adds-2 {
+		t.Errorf("%d adds remain, want %d", n, adds-2)
+	}
+}
+
+// TestGVNRespectsOrigin: values carrying different macro/inline origin
+// strings must not merge, because report filtering walks origins
+// transitively through arguments.
+func TestGVNRespectsOrigin(t *testing.T) {
+	src := `
+int f(int a, int b) {
+	int x = a * b;
+	int y = a * b;
+	return x - y;
+}
+`
+	f := fn(t, build(t, src), "f")
+	var muls []*Value
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == OpMul {
+				muls = append(muls, v)
+			}
+		}
+	}
+	if len(muls) != 2 {
+		t.Fatalf("test setup: %d muls, want 2", len(muls))
+	}
+	muls[1].Origin = "MACRO_Y"
+	if hits := GVN(f); hits != 0 {
+		t.Errorf("GVN hits = %d, want 0 across differing origins", hits)
+	}
+	if n := countOp(f, OpMul); n != 2 {
+		t.Errorf("%d muls remain, want 2", n)
+	}
+}
+
+// TestGVNSkipsComparisonsAndBooleans: OpICmp is one report site per
+// instruction and width-1 values feed boolean sink analysis; neither
+// may merge.
+func TestGVNSkipsComparisonsAndBooleans(t *testing.T) {
+	src := `
+int f(int a, int b) {
+	int x = (a < b);
+	int y = (a < b);
+	return x + y;
+}
+`
+	f := fn(t, build(t, src), "f")
+	before := countOp(f, OpICmp)
+	if before != 2 {
+		t.Fatalf("test setup: %d icmps, want 2", before)
+	}
+	GVN(f)
+	if n := countOp(f, OpICmp); n != 2 {
+		t.Errorf("%d icmps remain, want 2 (comparisons never merge)", n)
+	}
+}
+
+// TestGVNDoesNotCrossBlocks: duplicates in different blocks stay
+// separate — the byte-identity argument only covers same-block merges.
+func TestGVNDoesNotCrossBlocks(t *testing.T) {
+	src := `
+int f(int a, int b) {
+	int x = 0;
+	if (a) {
+		x = a * b;
+	} else {
+		x = a * b;
+	}
+	return x;
+}
+`
+	f := fn(t, build(t, src), "f")
+	if n := countOp(f, OpMul); n != 2 {
+		t.Fatalf("test setup: %d muls, want 2", n)
+	}
+	GVN(f)
+	if n := countOp(f, OpMul); n != 2 {
+		t.Errorf("%d muls remain, want 2 (the duplicates live in different blocks)", n)
+	}
+}
+
+func TestDSERemovesOverwrittenStores(t *testing.T) {
+	src := `
+int f(int a) {
+	int x = 1;
+	int *p = &x;
+	*p = 2;
+	*p = a;
+	return *p;
+}
+`
+	execDiff(t, src, "f", [][]uint64{{0}, {9}}, func(f *Func) {
+		if removed := DSE(f); removed == 0 {
+			t.Error("DSE removed nothing; the first two stores are dead")
+		}
+	})
+}
+
+func TestDSEKeepsStoreBeforeLoad(t *testing.T) {
+	src := `
+int f(int a) {
+	int x = 1;
+	int *p = &x;
+	int y = *p;
+	*p = a;
+	return y + *p;
+}
+`
+	execDiff(t, src, "f", [][]uint64{{0}, {4}}, func(f *Func) {
+		if removed := DSE(f); removed != 0 {
+			t.Errorf("DSE removed %d stores; the load observes the first", removed)
+		}
+	})
+}
+
+func TestDSEKeepsStoreBeforeCall(t *testing.T) {
+	src := `
+int g(int *p) { return *p; }
+int f() {
+	int x = 1;
+	g(&x);
+	x = 2;
+	return x;
+}
+`
+	f := fn(t, build(t, src), "f")
+	if removed := DSE(f); removed != 0 {
+		t.Errorf("DSE removed %d stores; the call may observe the escaped slot", removed)
+	}
+}
+
+// TestRunSSAPassesExecDifferential drives the full pass stack over a
+// function exercising promotion, numbering, and store elimination at
+// once.
+func TestRunSSAPassesExecDifferential(t *testing.T) {
+	src := `
+int f(int a, int b) {
+	int x = 0;
+	int *p = &x;
+	*p = a + b;
+	*p = a + b + 1;
+	int s = 0;
+	for (int i = 0; i < *p; i++) {
+		s = s + (a + b);
+	}
+	if (s > 10) {
+		*p = s;
+	}
+	return *p + s;
+}
+`
+	var ps PassStats
+	execDiff(t, src, "f",
+		[][]uint64{{0, 0}, {1, 2}, {3, 4}, {10, 0}},
+		func(f *Func) { ps = RunSSAPasses(f, ComputeDom(f)) })
+	if ps.PromotedAllocas != 1 {
+		t.Errorf("PromotedAllocas = %d, want 1", ps.PromotedAllocas)
+	}
+	if ps.EliminatedStores == 0 {
+		t.Error("EliminatedStores = 0, want > 0 (promotion deletes the stores)")
+	}
+}

@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# invariants.sh — structural invariants the ROADMAP freezes, enforced
+# mechanically so a refactor cannot drift past them in review.
+#
+#   1. One emitter. The ordered-emission pending-map pattern (a
+#      map[int]-keyed reorder buffer) lives in internal/emit and
+#      nowhere else; a second copy is how the pre-PR-4 sweep and
+#      service layers diverged. Any non-test Go file outside
+#      internal/emit that builds a pending map[int] buffer fails the
+#      check.
+#
+#   2. Append-only diagnostic codes. Every code ever published in
+#      scripts/codes.manifest (STACK-* rule IDs, UB0* condition codes)
+#      must still exist verbatim as a quoted string in the non-test
+#      sources, and every such literal in the sources must be listed in
+#      the manifest. Renaming or deleting a published code breaks
+#      downstream suppression files; adding one means appending it to
+#      the manifest in the same change.
+#
+# Usage:
+#   scripts/invariants.sh              # check the repository
+#   scripts/invariants.sh --self-test  # prove the checks can fail
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+# go_sources DIR — non-test, non-vendored Go files under DIR.
+go_sources() {
+	find "$1" -name '*.go' ! -name '*_test.go' ! -path '*/testdata/*' -type f
+}
+
+# check_one_emitter DIR — fail if a pending map[int] reorder buffer
+# exists outside internal/emit.
+check_one_emitter() {
+	local root="$1" bad=0 f
+	while IFS= read -r f; do
+		case "$f" in
+		*/internal/emit/*) continue ;;
+		esac
+		if grep -nE 'pending[[:alnum:]_]*[[:space:]]*:?=.*map\[int\]' "$f" /dev/null; then
+			bad=1
+		fi
+	done < <(go_sources "$root")
+	if [ "$bad" -ne 0 ]; then
+		echo "invariants: FAIL: pending-map reorder buffer outside internal/emit (one-emitter invariant)" >&2
+		return 1
+	fi
+	echo "invariants: ok: one emitter"
+}
+
+# check_codes DIR MANIFEST — bidirectional append-only check between
+# the manifest and the quoted diagnostic-code literals in DIR.
+check_codes() {
+	local root="$1" manifest="$2" bad=0 code
+	if [ ! -f "$manifest" ]; then
+		echo "invariants: FAIL: missing manifest $manifest" >&2
+		return 1
+	fi
+	local srcs
+	srcs="$(go_sources "$root")"
+	while IFS= read -r code; do
+		[ -n "$code" ] || continue
+		# shellcheck disable=SC2086
+		if ! grep -qF "\"$code\"" $srcs; then
+			echo "invariants: FAIL: published code $code edited or removed (codes are append-only)" >&2
+			bad=1
+		fi
+	done <"$manifest"
+	# shellcheck disable=SC2086
+	while IFS= read -r code; do
+		if ! grep -qxF "$code" "$manifest"; then
+			echo "invariants: FAIL: code $code in sources but not in $manifest (append it)" >&2
+			bad=1
+		fi
+	done < <(grep -hoE '"(STACK-[A-Z][0-9]{3}|UB0[0-9]{2})"' $srcs | tr -d '"' | sort -u)
+	[ "$bad" -eq 0 ] || return 1
+	echo "invariants: ok: diagnostic codes append-only"
+}
+
+self_test() {
+	local tmp pass=0
+	tmp="$(mktemp -d)"
+	# shellcheck disable=SC2064  # expand now: tmp is local to this function
+	trap "rm -rf '$tmp'" EXIT
+
+	# A second pending map outside internal/emit must fail.
+	mkdir -p "$tmp/a/stack/service"
+	cat >"$tmp/a/stack/service/buffer.go" <<-'EOF'
+		package service
+
+		func drain() {
+			pending := make(map[int]string)
+			_ = pending
+		}
+	EOF
+	if check_one_emitter "$tmp/a" >/dev/null 2>&1; then
+		echo "invariants: SELF-TEST FAIL: rogue pending map not detected" >&2
+		pass=1
+	fi
+
+	# The canonical emitter itself must pass.
+	mkdir -p "$tmp/b/internal/emit"
+	cat >"$tmp/b/internal/emit/emit.go" <<-'EOF'
+		package emit
+
+		func run() {
+			pending := make(map[int]int)
+			_ = pending
+		}
+	EOF
+	if ! check_one_emitter "$tmp/b" >/dev/null 2>&1; then
+		echo "invariants: SELF-TEST FAIL: canonical emitter rejected" >&2
+		pass=1
+	fi
+
+	# A mutated published code (UB003 -> UB303) must fail both ways:
+	# the manifest entry is gone from the sources, and the new literal
+	# is not in the manifest.
+	mkdir -p "$tmp/c/stack"
+	printf 'UB003\n' >"$tmp/c/codes.manifest"
+	cat >"$tmp/c/stack/diagnostic.go" <<-'EOF'
+		package stack
+
+		const UBCodeSignedOverflow = "UB303"
+	EOF
+	if check_codes "$tmp/c" "$tmp/c/codes.manifest" >/dev/null 2>&1; then
+		echo "invariants: SELF-TEST FAIL: mutated code not detected" >&2
+		pass=1
+	fi
+
+	# An intact code set must pass.
+	mkdir -p "$tmp/d/stack"
+	printf 'UB003\n' >"$tmp/d/codes.manifest"
+	cat >"$tmp/d/stack/diagnostic.go" <<-'EOF'
+		package stack
+
+		const UBCodeSignedOverflow = "UB003"
+	EOF
+	if ! check_codes "$tmp/d" "$tmp/d/codes.manifest" >/dev/null 2>&1; then
+		echo "invariants: SELF-TEST FAIL: intact codes rejected" >&2
+		pass=1
+	fi
+
+	if [ "$pass" -ne 0 ]; then
+		return 1
+	fi
+	echo "invariants: self-test ok (4 cases)"
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+	self_test
+	exit $?
+fi
+
+check_one_emitter "$ROOT"
+check_codes "$ROOT" "$ROOT/scripts/codes.manifest"

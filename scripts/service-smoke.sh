@@ -16,7 +16,10 @@
 #      answer 401, `stack -remote -auth-token` must match local bytes;
 #   7. SIGKILL one of the two replicas in the middle of a large sweep
 #      and require the surviving replica's retry path to still produce
-#      byte-identical output.
+#      byte-identical output;
+#   8. `stack -fleet-status` against the fleet: exit 0 with every
+#      replica probed up before the kill, exit 1 with the dead replica
+#      reported down (with its probe error) after it.
 #
 # Run via `make service-smoke`; CI runs it on every push.
 set -euo pipefail
@@ -142,6 +145,14 @@ fi
 run_stack -remote "127.0.0.1:$port3" -auth-token smoketoken -format jsonl "${inputs[@]}" > "$workdir/auth.jsonl"
 diff -u "$workdir/local.jsonl" "$workdir/auth.jsonl"
 
+echo "== fleet-status: healthy fleet probes up, exit 0"
+"$workdir/stack" -fleet-status -remote "127.0.0.1:$port1,127.0.0.1:$port2" > "$workdir/fleet.json"
+if [ "$(grep -c '"up": true' "$workdir/fleet.json")" -ne 2 ]; then
+    echo "fleet-status did not report both replicas up:" >&2
+    cat "$workdir/fleet.json" >&2
+    exit 1
+fi
+
 echo "== kill a replica mid-sweep: byte identity survives"
 # A batch large enough to still be in flight when the kill lands; the
 # dispatcher must retry the dead replica's unfinished tail on the
@@ -156,5 +167,17 @@ killer=$!
 run_stack -remote "127.0.0.1:$port1,127.0.0.1:$port2" -format jsonl "${big[@]}" > "$workdir/remote-big.jsonl"
 wait "$killer" 2>/dev/null || true
 diff -u "$workdir/local-big.jsonl" "$workdir/remote-big.jsonl"
+
+echo "== fleet-status: dead replica reported down, exit 1"
+set +e
+"$workdir/stack" -fleet-status -remote "127.0.0.1:$port1,127.0.0.1:$port2" > "$workdir/fleet-down.json"
+status=$?
+set -e
+if [ "$status" -ne 1 ]; then
+    echo "fleet-status with a dead replica exited $status, want 1" >&2
+    exit 1
+fi
+grep -q '"up": false' "$workdir/fleet-down.json"
+grep -q '"lastErr"' "$workdir/fleet-down.json"
 
 echo "== service smoke OK"

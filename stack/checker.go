@@ -42,4 +42,7 @@ func (s *Stats) Add(other Stats) {
 	s.CacheHits += other.CacheHits
 	s.LearntsDropped += other.LearntsDropped
 	s.ArenaBytesReused += other.ArenaBytesReused
+	s.PromotedAllocas += other.PromotedAllocas
+	s.EliminatedStores += other.EliminatedStores
+	s.GVNHits += other.GVNHits
 }

@@ -67,17 +67,17 @@ func (rs *replicaState) setUp() {
 }
 
 // ReplicaHealth is one replica's state snapshot, for operators and
-// tests.
+// tests. The JSON form is the `stack -fleet-status` wire format.
 type ReplicaHealth struct {
 	// Name is the replica's base URL (clients) or a positional name.
-	Name string
-	Up   bool
+	Name string `json:"name"`
+	Up   bool   `json:"up"`
 	// Pending counts assigned-but-undelivered sources.
-	Pending int64
+	Pending int64 `json:"pending"`
 	// Transitions counts up↔down flips since construction.
-	Transitions int64
+	Transitions int64 `json:"transitions"`
 	// LastErr is the failure that marked the replica down ("" when up).
-	LastErr string
+	LastErr string `json:"lastErr,omitempty"`
 }
 
 // Health returns a snapshot of every replica's health state.
@@ -125,6 +125,18 @@ func (d *Dispatcher) probe(ctx context.Context, i int) {
 	} else {
 		d.replicas[i].setUp()
 	}
+}
+
+// ProbeAll synchronously probes every replica once and returns the
+// resulting health snapshot — the one-shot fleet check behind
+// `stack -fleet-status`. Unlike StartHealth it does not start a
+// background loop; unlike Health alone it reflects the fleet as of
+// now, not as of the last probe or transport failure.
+func (d *Dispatcher) ProbeAll(ctx context.Context) []ReplicaHealth {
+	for i := range d.replicas {
+		d.probe(ctx, i)
+	}
+	return d.Health()
 }
 
 // reviveDown synchronously probes only the replicas currently marked

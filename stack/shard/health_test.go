@@ -1,0 +1,78 @@
+// Tests for the operator-facing fleet health surface: the one-shot
+// ProbeAll snapshot behind `stack -fleet-status` and its JSON wire
+// format.
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/stack"
+	"repro/stack/client"
+	"repro/stack/service"
+)
+
+// TestProbeAllSnapshotAndJSON: ProbeAll reflects the fleet as of now —
+// a live replica reports up, a dead one reports down with the probe
+// failure — and the snapshot marshals to the documented lowercase JSON
+// keys, omitting lastErr for healthy replicas.
+func TestProbeAllSnapshotAndJSON(t *testing.T) {
+	live := newReplicaServer(t)
+	dead := httptest.NewServer(service.New(stack.New(stack.WithSolverTimeout(0)), service.Options{}))
+	deadURL := dead.URL
+	dead.Close() // connection refused from the first probe on
+
+	d := New(live, client.New(deadURL))
+	h := d.ProbeAll(context.Background())
+	if len(h) != 2 {
+		t.Fatalf("ProbeAll returned %d replicas, want 2", len(h))
+	}
+	if !h[0].Up || h[0].LastErr != "" {
+		t.Errorf("live replica = %+v, want up with no error", h[0])
+	}
+	if h[1].Up || h[1].LastErr == "" || h[1].Transitions == 0 {
+		t.Errorf("dead replica = %+v, want down with the probe failure and a transition", h[1])
+	}
+
+	out, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		t.Fatalf("marshaling health: %v", err)
+	}
+	s := string(out)
+	for _, key := range []string{`"name"`, `"up": true`, `"up": false`, `"pending"`, `"transitions"`, `"lastErr"`} {
+		if !strings.Contains(s, key) {
+			t.Errorf("fleet-status JSON missing %s:\n%s", key, s)
+		}
+	}
+	// lastErr is omitempty: exactly one replica (the dead one) has it.
+	if n := strings.Count(s, `"lastErr"`); n != 1 {
+		t.Errorf("lastErr appears %d times, want 1 (omitted for the healthy replica):\n%s", n, s)
+	}
+
+	// A replica that recovers between one-shot probes flips back up on
+	// the next ProbeAll, counting both transitions.
+	var failing atomic.Bool
+	failing.Store(true)
+	real := service.New(stack.New(stack.WithSolverTimeout(0)), service.Options{})
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "rebooting", http.StatusServiceUnavailable)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+	d2 := New(client.New(flaky.URL))
+	if h := d2.ProbeAll(context.Background()); h[0].Up {
+		t.Fatalf("failing replica = %+v, want down", h[0])
+	}
+	failing.Store(false)
+	if h := d2.ProbeAll(context.Background()); !h[0].Up || h[0].Transitions != 2 {
+		t.Errorf("recovered replica = %+v, want up with 2 transitions", h[0])
+	}
+}

@@ -1,0 +1,87 @@
+package stack
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// ssaRichSrc has an address-taken local and duplicate subexpressions,
+// so the SSA pass stack has real work to do on top of the unstable
+// pointer-overflow check.
+const ssaRichSrc = `
+int walk(char *buf, char *buf_end, unsigned int len) {
+	int n = 0;
+	int *p = &n;
+	*p = (int)len * 2;
+	*p = (int)len * 2 + 1;
+	if (buf + len >= buf_end)
+		return -1;
+	if (buf + len < buf)
+		return -1; /* deleted by gcc: pointer overflow is undefined */
+	return *p;
+}
+`
+
+// TestWithSSAIdenticalDiagnostics: the public option must not change
+// any diagnostic — same files, same codes, same rendered text — while
+// surfacing the pass counters through the stats trailer.
+func TestWithSSAIdenticalDiagnostics(t *testing.T) {
+	srcs := []Source{
+		{Name: "fig1.c", Text: fig1Src},
+		{Name: "div.c", Text: divSrc},
+		{Name: "ssa.c", Text: ssaRichSrc},
+	}
+	for _, src := range srcs {
+		legacy, err := New().CheckSource(context.Background(), src.Name, src.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		ssa, err := New(WithSSA(true)).CheckSource(context.Background(), src.Name, src.Text)
+		if err != nil {
+			t.Fatalf("%s with SSA: %v", src.Name, err)
+		}
+		if !reflect.DeepEqual(legacy.Diagnostics, ssa.Diagnostics) {
+			t.Errorf("%s: diagnostics differ under WithSSA:\n legacy: %+v\n ssa:    %+v",
+				src.Name, legacy.Diagnostics, ssa.Diagnostics)
+		}
+		if len(legacy.Diagnostics) == 0 {
+			t.Errorf("%s: no diagnostics; comparison is vacuous", src.Name)
+		}
+	}
+}
+
+// TestWithSSAStatsTrailer: pass counters appear in the JSON stats only
+// under WithSSA — with omitempty zeros, the legacy trailer bytes are
+// untouched (the golden-JSON tests depend on that).
+func TestWithSSAStatsTrailer(t *testing.T) {
+	ssa, err := New(WithSSA(true)).CheckSource(context.Background(), "ssa.c", ssaRichSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssa.Stats.GVNHits == 0 {
+		t.Error("GVNHits = 0 on a source with duplicate computations")
+	}
+	if ssa.Stats.PromotedAllocas == 0 {
+		t.Error("PromotedAllocas = 0 on a source with an address-taken local")
+	}
+	if ssa.Stats.EliminatedStores == 0 {
+		t.Error("EliminatedStores = 0 on a source with an overwritten store")
+	}
+
+	legacy, err := New().CheckSource(context.Background(), "ssa.c", ssaRichSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(legacy.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"promotedAllocas", "eliminatedStores", "gvnHits"} {
+		if strings.Contains(string(raw), key) {
+			t.Errorf("legacy stats trailer leaks %q: %s", key, raw)
+		}
+	}
+}

@@ -122,6 +122,20 @@ func WithScratchSolving(on bool) Option {
 	return func(c *config) { c.opts.ScratchSolve = on }
 }
 
+// WithSSA runs the pruned-SSA pass stack (mem2reg promotion of
+// non-escaping allocas, structural value numbering, dead-store
+// elimination) over each function before encoding. Diagnostics are
+// byte-identical to the legacy pipeline across the synthetic corpus
+// (the differential gate TestSSAVsLegacyByteIdentity); the passes
+// change the work, not the verdicts — promoted loads stop encoding as
+// distinct opaque solver variables, so value graphs hash-cons across
+// the whole function and fewer terms reach the SAT core. Off by
+// default while the differential gate soaks. The pass counters
+// surface in Stats as PromotedAllocas / EliminatedStores / GVNHits.
+func WithSSA(on bool) Option {
+	return func(c *config) { c.opts.SSA = on }
+}
+
 // WithLearntBudget bounds the learned clauses an incremental solving
 // session carries from one query into the next: after each query the
 // learnt database is trimmed toward n (locked and binary clauses
@@ -187,6 +201,14 @@ type Stats struct {
 	CacheHits        int64 `json:"cacheHits"`
 	LearntsDropped   int64 `json:"learntsDropped"`
 	ArenaBytesReused int64 `json:"arenaBytesReused"`
+	// SSA pass counters (all zero unless WithSSA): PromotedAllocas
+	// counts address-taken variables mem2reg rewrote into SSA values,
+	// EliminatedStores counts stores removed by promotion and
+	// dead-store elimination, GVNHits counts values merged into a
+	// structurally identical representative.
+	PromotedAllocas  int64 `json:"promotedAllocas,omitempty"`
+	EliminatedStores int64 `json:"eliminatedStores,omitempty"`
+	GVNHits          int64 `json:"gvnHits,omitempty"`
 }
 
 func statsOf(st core.Stats) Stats {
@@ -204,6 +226,9 @@ func statsOf(st core.Stats) Stats {
 		CacheHits:        st.CacheHits,
 		LearntsDropped:   st.LearntsDropped,
 		ArenaBytesReused: st.ArenaBytesReused,
+		PromotedAllocas:  st.PromotedAllocas,
+		EliminatedStores: st.EliminatedStores,
+		GVNHits:          st.GVNHits,
 	}
 }
 
