@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet staticcheck vulncheck invariants test race stackd-race fleet-race ssa-differential bench-smoke bench bench-json bench-gate fuzz-smoke service-smoke cover race-cover ci
+.PHONY: all build vet staticcheck vulncheck invariants test race stackd-race fleet-race ssa-differential cache-identity bench-smoke bench bench-json bench-gate fuzz-smoke service-smoke cover race-cover ci
 
 all: build
 
@@ -67,12 +67,21 @@ fleet-race:
 ssa-differential:
 	$(GO) test -race -run 'SSA' ./internal/...
 
+# The result-cache gate under the race detector: cold-vs-warm byte
+# identity of sweep output across worker counts and merge strategies,
+# option-fingerprint completeness and sensitivity, name rehydration,
+# disk-tier persistence, and the stack/cache unit suite (LRU eviction,
+# byte budgets, atomic-rename collisions, crash safety).
+cache-identity:
+	$(GO) test -race -run 'WarmCache|CacheKey|Fingerprint|CacheCorrupt' ./stack
+	$(GO) test -race ./stack/cache
+
 # Short smoke run of the Figure 16 Kerberos profile plus the parallel
-# sweep, incremental-vs-scratch, and SSA chain-heavy benchmarks
-# (speedup-vs-serial, rewrite-hit-rate, queries-per-blast, and
-# blast-reduction metrics).
+# sweep, incremental-vs-scratch, SSA chain-heavy, and warm result-cache
+# benchmarks (speedup-vs-serial, rewrite-hit-rate, queries-per-blast,
+# blast-reduction, and warm-hit-rate metrics).
 bench-smoke:
-	$(GO) test -run NONE -bench 'BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch|BenchmarkSSAChainHeavy' -benchtime=1x
+	$(GO) test -run NONE -bench 'BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch|BenchmarkSSAChainHeavy|BenchmarkWarmSweep' -benchtime=1x
 
 # Full paper-figure regeneration (see EXPERIMENTS.md).
 bench:
@@ -83,7 +92,7 @@ bench:
 # PR advances the trajectory. bench-gate reruns the set and fails on
 # regression against the newest committed BENCH_<n>.json; with no
 # checkpoint committed it passes with a notice.
-BENCH_CHECKPOINT ?= 7
+BENCH_CHECKPOINT ?= 8
 bench-json:
 	$(GO) run ./scripts/benchjson -out BENCH_$(BENCH_CHECKPOINT).json
 
@@ -118,4 +127,4 @@ race-cover:
 	$(GO) test -race -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: vet staticcheck vulncheck invariants build race-cover fleet-race ssa-differential bench-smoke bench-gate fuzz-smoke service-smoke
+ci: vet staticcheck vulncheck invariants build race-cover fleet-race ssa-differential cache-identity bench-smoke bench-gate fuzz-smoke service-smoke

@@ -17,6 +17,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/stack"
+	"repro/stack/cache"
 )
 
 func checkerOpts() core.Options {
@@ -234,6 +236,63 @@ func BenchmarkSweepParallel(b *testing.B) {
 	b.ReportMetric(float64(res.CacheHits)/float64(res.CacheHits+res.TermsCreated), "cache-hit-rate")
 	b.ReportMetric(float64(res.Queries), "queries")
 	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkWarmSweep measures the content-addressed result cache on a
+// repeated archive sweep: one cold sweep populates the cache, then the
+// timed iterations re-sweep the identical archive and must be answered
+// entirely from it. The benchmark fails — not merely regresses — if
+// any warm file misses or the warm sweep does any solver work, so the
+// warm-hit-rate metric it emits is a gated trajectory quantity (see
+// scripts/benchjson). warm-speedup (cold wall clock over warm) is the
+// headline payoff and is reported informationally: it depends on the
+// machine, while the hit rate does not.
+func BenchmarkWarmSweep(b *testing.B) {
+	pkgs := corpus.GenerateArchive(corpus.DefaultArchive)
+	stackPkgs := make([]stack.Package, len(pkgs))
+	for i, p := range pkgs {
+		stackPkgs[i] = stack.Package{Name: p.Name, Files: p.Files}
+	}
+	az := stack.New(stack.WithCache(cache.NewMemory(64 << 20)))
+	ctx := context.Background()
+
+	t0 := time.Now()
+	coldRes, err := az.Sweep(ctx, stackPkgs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold := time.Since(t0)
+	if coldRes.CacheResultHits != 0 {
+		b.Fatalf("cold sweep had %d cache hits", coldRes.CacheResultHits)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *stack.SweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := az.Sweep(ctx, stackPkgs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.StopTimer()
+
+	files := int64(res.Files)
+	if res.CacheResultHits != files || res.CacheResultMisses != 0 {
+		b.Fatalf("warm sweep hits=%d misses=%d, want %d/0", res.CacheResultHits, res.CacheResultMisses, files)
+	}
+	if res.Queries != 0 {
+		b.Fatalf("warm sweep issued %d solver queries, want 0", res.Queries)
+	}
+	if res.Reports != coldRes.Reports {
+		b.Fatalf("warm reports %d != cold %d", res.Reports, coldRes.Reports)
+	}
+	warm := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(res.CacheResultHits)/float64(files), "warm-hit-rate")
+	b.ReportMetric(cold.Seconds()/warm.Seconds(), "warm-speedup")
+	b.ReportMetric(float64(files), "files")
+	b.ReportMetric(float64(res.Reports), "reports")
 }
 
 // BenchmarkIncrementalVsScratch quantifies the incremental solving

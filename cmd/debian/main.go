@@ -42,18 +42,19 @@
 // jsonl lines omit the package/function/timing fields of a local
 // sweep.
 //
-// -fleet-status (with -remote) skips the sweep entirely: every replica
-// is probed once and the fleet health snapshot is printed as JSON —
-// name, up, pending, transitions, lastErr per replica — with exit
-// status 1 if any replica is down.
+// -fleet-status skips the sweep entirely: every replica is probed once
+// and the fleet health snapshot is printed as JSON — name, up,
+// pending, transitions, lastErr per replica. The mode has its own flag
+// set: only -remote (required) and -auth-token apply, and any other
+// flag or argument is a usage error. Exit codes: 0 with every replica
+// up, 1 with any replica down, 2 on a usage error or a failed
+// probe/encoding.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"time"
 
@@ -64,6 +65,14 @@ import (
 )
 
 func main() {
+	// -fleet-status is its own mode with its own strict flag surface:
+	// only -remote and -auth-token apply, and anything else is a usage
+	// error instead of a silently ignored no-op. Handled before the
+	// regular parse (shard.FleetStatus re-parses the arguments).
+	if shard.HasFleetStatusFlag(os.Args[1:]) {
+		os.Exit(shard.FleetStatus(os.Stdout, os.Stderr, "debian", os.Args[1:]))
+	}
+
 	common := stack.BindCommonFlags(flag.CommandLine)
 	packages := flag.Int("packages", corpus.DefaultArchive.Packages, "number of packages")
 	files := flag.Int("files", corpus.DefaultArchive.FilesPerPackage, "files per package")
@@ -75,20 +84,8 @@ func main() {
 	buffered := flag.Bool("buffered", false, "use the legacy buffered merge instead of streaming")
 	remote := flag.String("remote", "", "comma-separated stackd replica addresses; sweep runs remotely (requires -stream)")
 	authToken := flag.String("auth-token", "", "bearer token for the replicas (with -remote)")
-	fleetStatus := flag.Bool("fleet-status", false, "probe the -remote fleet once and print its health as JSON")
+	_ = flag.Bool("fleet-status", false, "probe the -remote fleet once and print its health as JSON (own flag set; see debian -fleet-status -h)")
 	flag.Parse()
-	if *fleetStatus {
-		if *remote == "" {
-			fmt.Fprintln(os.Stderr, "debian: -fleet-status requires -remote")
-			os.Exit(2)
-		}
-		d, err := shard.FromHosts(*remote, shard.WithClientOptions(client.WithAuthToken(*authToken)))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "debian: -remote: %v\n", err)
-			os.Exit(2)
-		}
-		os.Exit(printFleetStatus(os.Stdout, d))
-	}
 	if *stream && *buffered {
 		fmt.Fprintln(os.Stderr, "debian: -stream and -buffered are mutually exclusive")
 		os.Exit(2)
@@ -175,25 +172,6 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Print(res.Format())
-}
-
-// printFleetStatus probes every replica once, writes the health
-// snapshot as indented JSON, and returns the process exit code: 0 with
-// the whole fleet up, 1 with any replica down.
-func printFleetStatus(w io.Writer, d *shard.Dispatcher) int {
-	health := d.ProbeAll(context.Background())
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(health); err != nil {
-		fmt.Fprintf(os.Stderr, "debian: %v\n", err)
-		return 2
-	}
-	for _, h := range health {
-		if !h.Up {
-			return 1
-		}
-	}
-	return 0
 }
 
 // remoteSweep flattens the archive into one batch and streams it

@@ -42,16 +42,18 @@
 //	-fleet-status       probe every -remote replica once and print the
 //	                    fleet health snapshot as JSON (name, up,
 //	                    pending, transitions, lastErr) instead of
-//	                    running an analysis; exits 1 if any replica is
-//	                    down
+//	                    running an analysis. The mode has its own flag
+//	                    set: only -remote (required) and -auth-token
+//	                    apply, any other flag or argument is a usage
+//	                    error. Exit codes: 0 with every replica up, 1
+//	                    with any replica down, 2 on a usage error or a
+//	                    failed probe/encoding
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"repro/internal/corpus"
@@ -60,26 +62,15 @@ import (
 	"repro/stack/shard"
 )
 
-// printFleetStatus probes every replica once, writes the health
-// snapshot as indented JSON, and returns the process exit code: 0 with
-// the whole fleet up, 1 with any replica down.
-func printFleetStatus(w io.Writer, d *shard.Dispatcher) int {
-	health := d.ProbeAll(context.Background())
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(health); err != nil {
-		fmt.Fprintf(os.Stderr, "stack: %v\n", err)
-		return 2
-	}
-	for _, h := range health {
-		if !h.Up {
-			return 1
-		}
-	}
-	return 0
-}
-
 func main() {
+	// -fleet-status is its own mode with its own strict flag surface:
+	// only -remote and -auth-token apply, and anything else is a usage
+	// error instead of a silently ignored no-op. Handled before the
+	// regular parse (shard.FleetStatus re-parses the arguments).
+	if shard.HasFleetStatusFlag(os.Args[1:]) {
+		os.Exit(shard.FleetStatus(os.Stdout, os.Stderr, "stack", os.Args[1:]))
+	}
+
 	common := stack.BindCommonFlags(flag.CommandLine)
 	noFilter := flag.Bool("no-filter", false, "keep reports for macro/inline-generated code")
 	noMinsets := flag.Bool("no-minsets", false, "skip minimal UB-set computation")
@@ -93,21 +84,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text, jsonl, or sarif")
 	remote := flag.String("remote", "", "comma-separated stackd replica addresses; analysis runs remotely")
 	authToken := flag.String("auth-token", "", "bearer token for the replicas (with -remote)")
-	fleetStatus := flag.Bool("fleet-status", false, "probe the -remote fleet once and print its health as JSON")
+	_ = flag.Bool("fleet-status", false, "probe the -remote fleet once and print its health as JSON (own flag set; see stack -fleet-status -h)")
 	flag.Parse()
-
-	if *fleetStatus {
-		if *remote == "" {
-			fmt.Fprintln(os.Stderr, "stack: -fleet-status requires -remote")
-			os.Exit(2)
-		}
-		d, err := shard.FromHosts(*remote, shard.WithClientOptions(client.WithAuthToken(*authToken)))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "stack: -remote: %v\n", err)
-			os.Exit(2)
-		}
-		os.Exit(printFleetStatus(os.Stdout, d))
-	}
 
 	// The Checker is where local and remote runs meet: everything after
 	// this switch is oblivious to where the solver executes.

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	stackd [-addr :8591] [-timeout 5s] [-max-conflicts N] [-j N]
-//	       [-max-concurrent N] [-request-timeout 30s] [-auth-token T]
+//	       [-max-concurrent N] [-max-conns N] [-request-timeout 30s]
+//	       [-auth-token T] [-cache-dir DIR] [-cache-mem MiB]
 //
 // Endpoints (v2):
 //
@@ -19,9 +20,21 @@
 //	GET  /healthz     liveness probe
 //	GET  /metrics     operational counters as JSON: per-endpoint
 //	                  request/error counts and latency histograms, the
-//	                  in-flight gauge, and cumulative solver stats
+//	                  in-flight gauge, cumulative solver stats
 //	                  (queries, rewrite hits, blast passes, cache
-//	                  hits, ...) summed across every request served
+//	                  hits, ...) summed across every request served,
+//	                  and — with a cache configured — the result
+//	                  cache's counters; ?format=prometheus selects the
+//	                  Prometheus text exposition format instead
+//
+// -cache-mem and -cache-dir attach a content-addressed result cache
+// (stack.WithCache): an in-memory LRU of the given MiB budget, an
+// on-disk tier that survives restarts, or — with both — the two-level
+// memory→disk composition. Repeated sources (same bytes, same
+// options) answer from the cache without running the solver; the
+// response bytes are identical either way. -max-conns caps
+// simultaneous client connections at the listener, beneath the
+// request-level 503 admission control.
 //
 // -auth-token protects the analysis endpoints with a bearer token
 // (clients send Authorization: Bearer <token>; cmd/stack and
@@ -46,6 +59,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +67,7 @@ import (
 	"time"
 
 	"repro/stack"
+	"repro/stack/cache"
 	"repro/stack/service"
 )
 
@@ -60,18 +75,51 @@ func main() {
 	common := stack.BindCommonFlags(flag.CommandLine)
 	addr := flag.String("addr", ":8591", "listen address")
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent analyses (0 = one per CPU)")
+	maxConns := flag.Int("max-conns", 0, "maximum simultaneous client connections (0 = unlimited)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "whole-request analysis budget (0 = none)")
 	authToken := flag.String("auth-token", "", "bearer token required on the analysis endpoints (empty = open)")
+	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result-cache tier (empty = no disk tier)")
+	cacheMem := flag.Int("cache-mem", 0, "in-memory result-cache budget in MiB (0 = no memory tier)")
 	flag.Parse()
 
-	az := stack.New(common.Options()...)
-	srv := service.New(az, service.Options{
+	opts := common.Options()
+	// Result cache: memory tier, disk tier, or the two-level
+	// composition, per the -cache-mem / -cache-dir flags. Warm entries
+	// answer repeated sources without touching the solver; responses
+	// are byte-identical either way.
+	var resultCache cache.Cache
+	if *cacheMem > 0 || *cacheDir != "" {
+		var tiers []cache.Cache
+		if *cacheMem > 0 {
+			tiers = append(tiers, cache.NewMemory(int64(*cacheMem)<<20))
+		}
+		if *cacheDir != "" {
+			disk, err := cache.NewDisk(*cacheDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stackd: -cache-dir: %v\n", err)
+				os.Exit(1)
+			}
+			tiers = append(tiers, disk)
+		}
+		if len(tiers) == 1 {
+			resultCache = tiers[0]
+		} else {
+			resultCache = cache.NewTiered(tiers...)
+		}
+		opts = append(opts, stack.WithCache(resultCache))
+	}
+
+	az := stack.New(opts...)
+	svcOpts := service.Options{
 		MaxConcurrent:  *maxConcurrent,
 		RequestTimeout: *requestTimeout,
 		AuthToken:      *authToken,
-	})
+	}
+	if resultCache != nil {
+		svcOpts.CacheStats = az.CacheStats
+	}
+	srv := service.New(az, svcOpts)
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -79,9 +127,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stackd: %v\n", err)
+		os.Exit(1)
+	}
+	// The connection cap sits under the request semaphore: admission
+	// control sheds excess *requests* with 503s, while -max-conns
+	// bounds what raw connections (idle or pre-request) can pin.
+	ln = service.LimitListener(ln, *maxConns)
+
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "stackd: listening on %s\n", *addr)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "stackd: listening on %s\n", ln.Addr())
 
 	select {
 	case err := <-errCh:

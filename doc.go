@@ -85,6 +85,33 @@
 // checkpoint pins the solver-work reduction (make ssa-differential
 // runs the gate; it is part of make ci).
 //
+// # Content-addressed result cache
+//
+// stack.WithCache(c) attaches a cache.Cache (repro/stack/cache) to an
+// Analyzer: every entry point — CheckSource, CheckSources, Sweep —
+// first looks the file up by a content address, SHA-256 over the
+// source bytes plus a canonical fingerprint naming every
+// result-affecting option, and on a hit replays the stored reports
+// (positions rehydrated to the requesting file name) without building
+// IR or touching the solver. Execution knobs that cannot change
+// results — worker count, merge strategy, sinks — are excluded from
+// the key by construction, so analyzers differing only in them share
+// entries. The package ships an in-memory LRU with a byte budget
+// (cache.NewMemory), a crash-safe on-disk tier addressed by key hash
+// with atomic-rename writes (cache.NewDisk), and a tiered composition
+// that promotes disk hits into memory (cache.NewTiered); stackd wires
+// them behind -cache-mem and -cache-dir. Hits and misses surface as
+// cacheResultHits/cacheResultMisses in stack.Stats, the ?stats=1
+// trailer, and /metrics, alongside the cache's own residency counters.
+// The gate is the repository's byte-identity bar: a fully warm sweep
+// must produce byte-identical output to the cold run that populated
+// the cache, across worker counts and merge strategies, with zero
+// solver queries (make cache-identity runs it raced; part of make
+// ci). An options fingerprint that silently misses a new field would
+// be a correctness bug, so both a reflection test and
+// scripts/invariants.sh fail unless every core.Options field is named
+// in the fingerprint.
+//
 // # Commands
 //
 //   - cmd/stack: the file checker CLI (the paper's stack-build
@@ -96,11 +123,14 @@
 //     streaming text/JSONL/SARIF output and a -remote mode over the
 //     batch API;
 //   - cmd/stackd: the analysis service — POST /v1/analyze, streaming
-//     POST /v1/sweep, /healthz, and a JSON GET /metrics (request
-//     counts, latency histograms, in-flight gauge, cumulative solver
-//     stats) over HTTP with per-request contexts, bounded
-//     concurrency, optional bearer-token auth (-auth-token),
-//     streaming-safe gzip compression, and graceful shutdown;
+//     POST /v1/sweep, /healthz, and GET /metrics (request counts,
+//     latency histograms, in-flight gauge, cumulative solver stats;
+//     JSON by default, Prometheus text exposition with
+//     ?format=prometheus) over HTTP with per-request contexts,
+//     bounded concurrency, a listener-level connection cap
+//     (-max-conns), the result cache behind -cache-mem/-cache-dir,
+//     optional bearer-token auth (-auth-token), streaming-safe gzip
+//     compression, and graceful shutdown;
 //   - cmd/optsurvey: the §2–3 optimizer/compiler survey tables.
 //
 // The benchmarks in bench_test.go regenerate every table and figure
@@ -111,10 +141,11 @@
 // Performance is tracked as a machine-readable trajectory: committed
 // BENCH_<n>.json checkpoints produced by scripts/benchjson from the
 // trajectory benchmark set (Fig. 16 Kerberos, the parallel sweep,
-// incremental-vs-scratch solving, and the SSA chain-heavy corpus),
-// recording ns/op, allocs/op, and every custom metric
-// (queries-per-blast, rewrite-hit-rate, cache-hit-rate,
-// blast-reduction, speedup-vs-serial). `make bench-json` regenerates
+// incremental-vs-scratch solving, the SSA chain-heavy corpus, and the
+// warm result-cache sweep), recording ns/op, allocs/op, and every
+// custom metric (queries-per-blast, rewrite-hit-rate, cache-hit-rate,
+// blast-reduction, speedup-vs-serial, warm-hit-rate). `make
+// bench-json` regenerates
 // the current checkpoint; `make bench-gate` — part of `make ci` —
 // reruns the set and fails on regression outside the tolerance bands
 // against the newest committed checkpoint. EXPERIMENTS.md documents

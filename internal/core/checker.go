@@ -168,6 +168,19 @@ type Stats struct {
 	PromotedAllocas  int64
 	EliminatedStores int64
 	GVNHits          int64
+	// Result-cache traffic (all zero without a configured cache; see
+	// stack.WithCache): CacheResultHits counts sources answered whole
+	// from the content-addressed result cache — frontend, IR, and
+	// solver all skipped — and CacheResultMisses counts sources that
+	// were analyzed for real (and then stored). The checker itself
+	// never touches the cache; the sweep and batch layers consult it
+	// per source and fold these counters in alongside the per-worker
+	// stats. On a hit the program-shape counters (Functions, Blocks,
+	// ReportsByAlgo) are replayed from the cached entry, while the
+	// effort counters (Queries, TermsBlasted, ...) are not — a warm
+	// sweep really does no solver work, which is the point.
+	CacheResultHits   int64
+	CacheResultMisses int64
 }
 
 // Add accumulates other into s. It is the reduction step for
@@ -194,6 +207,8 @@ func (s *Stats) Add(other Stats) {
 	s.PromotedAllocas += other.PromotedAllocas
 	s.EliminatedStores += other.EliminatedStores
 	s.GVNHits += other.GVNHits
+	s.CacheResultHits += other.CacheResultHits
+	s.CacheResultMisses += other.CacheResultMisses
 }
 
 // Checker is the STACK checker. Create with New; safe for sequential

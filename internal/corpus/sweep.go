@@ -68,6 +68,15 @@ type Sweeper struct {
 	// (false) streams results through the in-order emitter with
 	// O(Workers) buffering. Output is byte-identical either way.
 	Buffered bool
+	// Cache, when non-nil, is consulted per file before the frontend
+	// runs: a hit delivers the cached reports straight to the in-order
+	// emitter (no parse, no IR, no solver), a miss analyzes the file
+	// and stores the finished result. Because hits and fresh results
+	// flow through the same ordered delivery path, a warm sweep's
+	// diagnostic stream is byte-identical to a cold one for any worker
+	// count. Workers and Buffered never enter the cache key — they
+	// cannot change results, only how results are computed.
+	Cache ResultCache
 }
 
 // FileReport pairs a report with the archive file that produced it.
@@ -131,6 +140,15 @@ type SweepResult struct {
 	PromotedAllocas  int64
 	EliminatedStores int64
 	GVNHits          int64
+	// CacheResultHits / CacheResultMisses count files answered whole
+	// from the Sweeper.Cache result cache versus analyzed for real.
+	// Both are zero without a configured cache. Like ArenaBytesReused
+	// they are deliberately absent from Format(): whether a result came
+	// from the cache is an operational fact, not an analysis result,
+	// and the text block stays byte-identical between cold and warm
+	// runs.
+	CacheResultHits   int64
+	CacheResultMisses int64
 	// ReportLog lists every report with its file, sorted by file, then
 	// position, then algorithm — the deterministic flat view of the
 	// sweep, independent of worker count and scheduling.
@@ -279,6 +297,7 @@ func (s *Sweeper) runPipeline(ctx context.Context, pkgs []Package, workers int, 
 	}
 	jobs := makeJobs(pkgs)
 	workerStats := make([]core.Stats, workers) // lock-free per-worker accumulation
+	cacheStats := make([]core.Stats, workers)  // per-build-worker cache traffic, same reduction
 
 	jobCh := make(chan fileJob)
 	builtCh := make(chan builtUnit, workers)
@@ -309,10 +328,34 @@ func (s *Sweeper) runPipeline(ctx context.Context, pkgs []Package, workers int, 
 	var buildWG, checkWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		buildWG.Add(1)
-		go func() {
+		go func(w int) {
 			defer buildWG.Done()
 			for j := range jobCh {
 				t0 := time.Now()
+				if s.Cache != nil {
+					if cf, ok := s.Cache.Lookup(j.name, j.src); ok {
+						// Replay the program-shape counters the checker
+						// would have accumulated; effort counters stay
+						// zero because no solver work happened.
+						cs := &cacheStats[w]
+						cs.CacheResultHits++
+						cs.Functions += cf.Functions
+						cs.Blocks += cf.Blocks
+						for _, r := range cf.Reports {
+							cs.ReportsByAlgo[r.Algo]++
+						}
+						deliver(fileResult{
+							idx:       j.idx,
+							pkgIdx:    j.pkgIdx,
+							name:      j.name,
+							funcs:     cf.Functions,
+							reports:   cf.Reports,
+							buildTime: time.Since(t0),
+						})
+						continue
+					}
+					cacheStats[w].CacheResultMisses++
+				}
 				file, err := cc.Parse(j.name, j.src)
 				if err != nil {
 					fail(fmt.Errorf("%s: %w", j.name, err))
@@ -334,7 +377,7 @@ func (s *Sweeper) runPipeline(ctx context.Context, pkgs []Package, workers int, 
 					return
 				}
 			}
-		}()
+		}(w)
 
 		checkWG.Add(1)
 		go func(w int) {
@@ -342,11 +385,24 @@ func (s *Sweeper) runPipeline(ctx context.Context, pkgs []Package, workers int, 
 			checker := core.New(s.Options)
 			for u := range builtCh {
 				funcs := len(u.prog.Funcs)
+				before := checker.Stats()
 				t1 := time.Now()
 				reports, err := checker.CheckProgram(ctx, u.prog)
 				if err != nil {
 					fail(err)
 					break
+				}
+				if s.Cache != nil {
+					// Every built unit is a cache miss (hits never reach
+					// this stage), so store the finished analysis. The
+					// shape deltas come from the checker's own books —
+					// exactly what a warm hit must replay.
+					after := checker.Stats()
+					s.Cache.Store(u.name, u.src, CachedFile{
+						Functions: after.Functions - before.Functions,
+						Blocks:    after.Blocks - before.Blocks,
+						Reports:   reports,
+					})
 				}
 				deliver(fileResult{
 					idx:          u.idx,
@@ -379,7 +435,7 @@ func (s *Sweeper) runPipeline(ctx context.Context, pkgs []Package, workers int, 
 	buildWG.Wait()
 	close(builtCh)
 	checkWG.Wait()
-	return workerStats, firstErr
+	return append(workerStats, cacheStats...), firstErr
 }
 
 // accumulator folds per-file results, delivered in archive order, into
@@ -451,6 +507,8 @@ func (a *accumulator) finish(workerStats []core.Stats) *SweepResult {
 	res.PromotedAllocas = st.PromotedAllocas
 	res.EliminatedStores = st.EliminatedStores
 	res.GVNHits = st.GVNHits
+	res.CacheResultHits = st.CacheResultHits
+	res.CacheResultMisses = st.CacheResultMisses
 
 	sort.SliceStable(res.ReportLog, func(i, j int) bool {
 		a, b := res.ReportLog[i], res.ReportLog[j]

@@ -40,9 +40,9 @@ const schemaVersion = 1
 
 // defaultBenchSet is the trajectory benchmark set: one end-to-end sweep
 // profile (Fig. 16 Kerberos), the parallel-sweep speedup benchmark, the
-// incremental-vs-scratch solver benchmark, and the SSA pass-stack
-// differential benchmark.
-const defaultBenchSet = "BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch|BenchmarkSSAChainHeavy"
+// incremental-vs-scratch solver benchmark, the SSA pass-stack
+// differential benchmark, and the warm result-cache sweep benchmark.
+const defaultBenchSet = "BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch|BenchmarkSSAChainHeavy|BenchmarkWarmSweep"
 
 // Benchmark is one benchmark's measurements: the standard testing
 // quantities plus every custom b.ReportMetric value, keyed by unit.
@@ -96,6 +96,10 @@ var higherBetter = map[string]float64{
 	// unless the reduction is strictly above 1, so the band here only
 	// guards against the margin eroding across checkpoints.
 	"blast-reduction": 0.75,
+	// Fraction of warm-sweep files answered from the result cache
+	// (BenchmarkWarmSweep). The benchmark fatals below 1.0, so the band
+	// is nearly tight; it exists so a checkpoint diff shows the gate.
+	"warm-hit-rate": 0.99,
 }
 
 func main() {

@@ -17,6 +17,15 @@
 #      downstream suppression files; adding one means appending it to
 #      the manifest in the same change.
 #
+#   3. Complete cache fingerprint. Every field of core.Options and
+#      core.Flags must appear by name (FieldName= / Flags.FieldName=)
+#      in the options fingerprint of stack/cachekey.go. A new
+#      result-affecting option that is not folded into the fingerprint
+#      would let a stale cache entry serve wrong results under the new
+#      option; this check (and the reflection test
+#      TestOptionsFingerprintCoversAllFields) makes that a CI failure
+#      instead of a latent correctness bug.
+#
 # Usage:
 #   scripts/invariants.sh              # check the repository
 #   scripts/invariants.sh --self-test  # prove the checks can fail
@@ -75,6 +84,51 @@ check_codes() {
 	done < <(grep -hoE '"(STACK-[A-Z][0-9]{3}|UB0[0-9]{2})"' $srcs | tr -d '"' | sort -u)
 	[ "$bad" -eq 0 ] || return 1
 	echo "invariants: ok: diagnostic codes append-only"
+}
+
+# struct_fields FILE STRUCT — exported field names of `type STRUCT
+# struct { ... }` in FILE, one per line (first brace-balanced block;
+# nested literals do not occur in the options structs).
+struct_fields() {
+	awk -v s="$2" '
+		$0 == "type " s " struct {" { in_struct = 1; next }
+		in_struct && /^}/ { exit }
+		in_struct && $1 ~ /^[A-Z][A-Za-z0-9_]*$/ && NF >= 2 { print $1 }
+	' "$1"
+}
+
+# check_fingerprint CORE_FILE KEY_FILE — every core.Options field (and
+# Flags.<field> for the embedded compiler-flag struct) must be named in
+# the fingerprint builder.
+check_fingerprint() {
+	local core_file="$1" key_file="$2" bad=0 f
+	if [ ! -f "$core_file" ] || [ ! -f "$key_file" ]; then
+		echo "invariants: FAIL: missing $core_file or $key_file" >&2
+		return 1
+	fi
+	local opts_fields
+	opts_fields="$(struct_fields "$core_file" Options)"
+	if [ -z "$opts_fields" ]; then
+		echo "invariants: FAIL: no Options fields parsed from $core_file" >&2
+		return 1
+	fi
+	while IFS= read -r f; do
+		if [ "$f" = "Flags" ]; then
+			continue # covered field-by-field below
+		fi
+		if ! grep -qF "$f=" "$key_file"; then
+			echo "invariants: FAIL: core.Options.$f missing from the cache fingerprint in $key_file" >&2
+			bad=1
+		fi
+	done <<<"$opts_fields"
+	while IFS= read -r f; do
+		if ! grep -qF "Flags.$f=" "$key_file"; then
+			echo "invariants: FAIL: core.Flags.$f missing from the cache fingerprint in $key_file" >&2
+			bad=1
+		fi
+	done < <(struct_fields "$core_file" Flags)
+	[ "$bad" -eq 0 ] || return 1
+	echo "invariants: ok: cache fingerprint covers every core.Options field"
 }
 
 self_test() {
@@ -141,10 +195,49 @@ self_test() {
 		pass=1
 	fi
 
+	# A new Options field absent from the fingerprint must fail; the
+	# same sources with the field named must pass.
+	mkdir -p "$tmp/e"
+	cat >"$tmp/e/checker.go" <<-'EOF'
+		package core
+
+		type Options struct {
+			Timeout time.Duration
+			NewKnob bool
+			Flags   Flags
+		}
+
+		type Flags struct {
+			WrapV bool
+		}
+	EOF
+	cat >"$tmp/e/cachekey.go" <<-'EOF'
+		package stack
+
+		func optionsFingerprint(o core.Options) []byte {
+			return []byte(fmt.Sprintf("Timeout=%d;Flags.WrapV=%t", o.Timeout, o.Flags.WrapV))
+		}
+	EOF
+	if check_fingerprint "$tmp/e/checker.go" "$tmp/e/cachekey.go" >/dev/null 2>&1; then
+		echo "invariants: SELF-TEST FAIL: fingerprint missing NewKnob not detected" >&2
+		pass=1
+	fi
+	cat >"$tmp/e/cachekey_full.go" <<-'EOF'
+		package stack
+
+		func optionsFingerprint(o core.Options) []byte {
+			return []byte(fmt.Sprintf("Timeout=%d;NewKnob=%t;Flags.WrapV=%t", o.Timeout, o.NewKnob, o.Flags.WrapV))
+		}
+	EOF
+	if ! check_fingerprint "$tmp/e/checker.go" "$tmp/e/cachekey_full.go" >/dev/null 2>&1; then
+		echo "invariants: SELF-TEST FAIL: complete fingerprint rejected" >&2
+		pass=1
+	fi
+
 	if [ "$pass" -ne 0 ]; then
 		return 1
 	fi
-	echo "invariants: self-test ok (4 cases)"
+	echo "invariants: self-test ok (6 cases)"
 }
 
 if [ "${1:-}" = "--self-test" ]; then
@@ -154,3 +247,4 @@ fi
 
 check_one_emitter "$ROOT"
 check_codes "$ROOT" "$ROOT/scripts/codes.manifest"
+check_fingerprint "$ROOT/internal/core/checker.go" "$ROOT/stack/cachekey.go"

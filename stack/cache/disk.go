@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// DiskSchemaVersion is the on-disk entry format version. Every entry
+// carries it in its header; a reader only accepts its own version, so
+// bumping the constant cleanly invalidates every entry written by
+// older code — stale-format entries read as misses and are removed,
+// never misinterpreted.
+const DiskSchemaVersion = 1
+
+// diskMagic brands every entry file so an unrelated file dropped into
+// the cache root is rejected before any parsing.
+var diskMagic = [4]byte{'S', 'T', 'K', 'C'}
+
+// Entry layout:
+//
+//	[0:4)   magic "STKC"
+//	[4:8)   format version, uint32 little-endian
+//	[8:16)  payload length, uint64 little-endian
+//	[16:48) SHA-256 of the payload
+//	[48:)   payload
+//
+// The checksum makes truncation and corruption detectable byte-for-byte:
+// a half-written or bit-flipped entry can never be served.
+const diskHeaderSize = 4 + 4 + 8 + sha256.Size
+
+// Disk is the on-disk tier: one content-addressed file per entry under
+// a root directory, fanned out by the first key byte. Writes go
+// through a temp file plus atomic rename, so readers only ever observe
+// complete files (a crash mid-Put leaves at worst an orphan temp
+// file). Create with NewDisk.
+type Disk struct {
+	root string
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	puts    atomic.Int64
+	errors  atomic.Int64
+	entries atomic.Int64
+	bytes   atomic.Int64
+}
+
+// NewDisk returns a disk-backed cache rooted at dir, creating it if
+// needed.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Disk{root: dir}, nil
+}
+
+// path is the entry file for k: root/<hex[0:2]>/<hex>.
+func (d *Disk) path(k Key) string {
+	hex := k.String()
+	return filepath.Join(d.root, hex[:2], hex)
+}
+
+// Get reads and validates the entry for k. Every integrity failure —
+// missing magic, foreign version, truncated payload, checksum mismatch
+// — is a miss; corrupt files are removed best-effort so they are not
+// re-validated on every lookup.
+func (d *Disk) Get(k Key) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(k))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			d.errors.Add(1)
+		}
+		d.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := decodeEntry(data)
+	if !ok {
+		d.errors.Add(1)
+		d.misses.Add(1)
+		_ = os.Remove(d.path(k)) // quarantine: never re-serve, never re-parse
+		return nil, false
+	}
+	d.hits.Add(1)
+	return payload, true
+}
+
+// decodeEntry validates one entry file and returns its payload.
+func decodeEntry(data []byte) ([]byte, bool) {
+	if len(data) < diskHeaderSize {
+		return nil, false
+	}
+	if !bytes.Equal(data[0:4], diskMagic[:]) {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(data[4:8]) != DiskSchemaVersion {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	payload := data[diskHeaderSize:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[16:16+sha256.Size]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// encodeEntry renders the versioned entry bytes for payload.
+func encodeEntry(payload []byte) []byte {
+	out := make([]byte, diskHeaderSize+len(payload))
+	copy(out[0:4], diskMagic[:])
+	binary.LittleEndian.PutUint32(out[4:8], DiskSchemaVersion)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(out[16:16+sha256.Size], sum[:])
+	copy(out[diskHeaderSize:], payload)
+	return out
+}
+
+// Put writes the entry for k atomically: the bytes land in a temp file
+// in the same directory, then rename moves them into place, so a
+// concurrent or crashed writer can never expose a partial entry.
+// Parallel writers of the same key race harmlessly — each rename
+// installs a complete, identical-content file. Failures are counted
+// and swallowed: a cache write error must never fail an analysis.
+func (d *Disk) Put(k Key, val []byte) {
+	dir := filepath.Dir(d.path(k))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		d.errors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "put-*")
+	if err != nil {
+		d.errors.Add(1)
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(encodeEntry(val)); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		d.errors.Add(1)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		d.errors.Add(1)
+		return
+	}
+	if err := os.Rename(name, d.path(k)); err != nil {
+		os.Remove(name)
+		d.errors.Add(1)
+		return
+	}
+	d.puts.Add(1)
+	d.entries.Add(1)
+	d.bytes.Add(int64(len(val)))
+}
+
+// Stats snapshots the counters. Entries and Bytes count entries and
+// payload bytes written by this process — resident state belongs to
+// the filesystem and is not scanned.
+func (d *Disk) Stats() Stats {
+	return Stats{
+		Hits:    d.hits.Load(),
+		Misses:  d.misses.Load(),
+		Puts:    d.puts.Load(),
+		Errors:  d.errors.Load(),
+		Entries: d.entries.Load(),
+		Bytes:   d.bytes.Load(),
+	}
+}
+
+// Root returns the cache's root directory.
+func (d *Disk) Root() string { return d.root }
+
+var _ Cache = (*Disk)(nil)

@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func newDiskT(t *testing.T) *Disk {
+	t.Helper()
+	d, err := NewDisk(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	d := newDiskT(t)
+	k := KeyOf([]byte("src"))
+	if _, ok := d.Get(k); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	d.Put(k, []byte("payload"))
+	got, ok := d.Get(k)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("got %q, %v; want payload, true", got, ok)
+	}
+	// An empty payload round-trips too (a clean file has no
+	// diagnostics but is still worth caching).
+	k2 := KeyOf([]byte("clean"))
+	d.Put(k2, nil)
+	if got, ok := d.Get(k2); !ok || len(got) != 0 {
+		t.Fatalf("empty payload: got %q, %v", got, ok)
+	}
+	st := d.Stats()
+	if st.Puts != 2 || st.Hits != 2 || st.Misses != 1 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestDiskTierCrashSafety: truncated, bit-flipped, wrong-version, and
+// foreign files are all served as misses, never as payloads — the
+// crash-safety contract of the on-disk format.
+func TestDiskTierCrashSafety(t *testing.T) {
+	payload := []byte("diagnostics payload bytes")
+	corruptions := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"truncated-header", func(b []byte) []byte { return b[:diskHeaderSize/2] }},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"empty", func([]byte) []byte { return nil }},
+		{"bit-flip-payload", func(b []byte) []byte { b[diskHeaderSize+2] ^= 0x40; return b }},
+		{"bit-flip-checksum", func(b []byte) []byte { b[20] ^= 0x01; return b }},
+		{"bad-magic", func(b []byte) []byte { copy(b[0:4], "JUNK"); return b }},
+		{"future-version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], DiskSchemaVersion+1)
+			return b
+		}},
+		{"length-mismatch", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:16], uint64(len(payload)+1))
+			return b
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newDiskT(t)
+			k := KeyOf([]byte(tc.name))
+			d.Put(k, payload)
+			path := d.path(k)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mangle(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := d.Get(k); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", got)
+			}
+			if st := d.Stats(); st.Errors != 1 {
+				t.Errorf("stats = %+v, want 1 integrity error", st)
+			}
+			// The corrupt file is quarantined: the next lookup is a
+			// plain miss, not a repeated integrity failure.
+			if _, ok := d.Get(k); ok {
+				t.Fatal("corrupt entry resurrected")
+			}
+			if st := d.Stats(); st.Errors != 1 {
+				t.Errorf("corrupt file not removed; errors = %d, want 1", st.Errors)
+			}
+		})
+	}
+}
+
+// TestDiskSchemaVersionInvalidates: an entry written under a different
+// format version is a miss — the clean-invalidation property a format
+// bump relies on.
+func TestDiskSchemaVersionInvalidates(t *testing.T) {
+	d := newDiskT(t)
+	k := KeyOf([]byte("old"))
+	// Forge a well-formed entry from "the previous version": same
+	// layout, older version number, valid checksum.
+	old := encodeEntry([]byte("stale payload"))
+	binary.LittleEndian.PutUint32(old[4:8], DiskSchemaVersion-1)
+	if err := os.MkdirAll(filepath.Dir(d.path(k)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path(k), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(k); ok {
+		t.Fatal("stale-version entry served")
+	}
+}
+
+// TestDiskParallelWriters: many goroutines writing overlapping keys —
+// including the same key, the atomic-rename collision case — always
+// leave every entry complete and readable. Run under -race.
+func TestDiskParallelWriters(t *testing.T) {
+	d := newDiskT(t)
+	const (
+		writers = 8
+		keys    = 16
+	)
+	payloadFor := func(k int) []byte {
+		b := make([]byte, 256)
+		for i := range b {
+			b[i] = byte(k)
+		}
+		return b
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := i % keys
+				d.Put(keyN(k), payloadFor(k)) // all writers collide on the same rename targets
+				if v, ok := d.Get(keyN(k)); ok {
+					if len(v) != 256 || v[0] != byte(k) {
+						t.Errorf("key %d: read a torn or foreign payload", k)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		v, ok := d.Get(keyN(k))
+		if !ok || len(v) != 256 || v[0] != byte(k) {
+			t.Errorf("key %d unreadable after parallel writes", k)
+		}
+	}
+	if st := d.Stats(); st.Errors != 0 {
+		t.Errorf("parallel writes recorded errors: %+v", st)
+	}
+	// No temp-file litter: every put-* either renamed or was removed.
+	matches, err := filepath.Glob(filepath.Join(d.Root(), "*", "put-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("leftover temp files: %v", matches)
+	}
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// memEntry is one resident entry; list elements carry it so eviction
+// can find the key without a reverse map.
+type memEntry struct {
+	key Key
+	val []byte
+}
+
+// Memory is the in-memory LRU tier: a concurrency-safe map + intrusive
+// recency list with a byte budget. Create with NewMemory.
+type Memory struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used
+	stats   Stats
+}
+
+// entryOverhead approximates the per-entry bookkeeping charged against
+// the byte budget on top of the payload: the key plus map/list
+// plumbing. Keeping it a fixed constant makes the accounting exactly
+// reproducible, which the byte-budget tests pin.
+const entryOverhead = int64(len(Key{})) + 64
+
+// NewMemory returns an LRU cache that keeps resident payload bytes
+// (plus a fixed per-entry overhead) within maxBytes, evicting the
+// least-recently-used entries when a Put would exceed it. A value too
+// large to ever fit is not stored at all. maxBytes <= 0 means a
+// minimal default of 1 MiB.
+func NewMemory(maxBytes int64) *Memory {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	return &Memory{
+		budget:  maxBytes,
+		entries: make(map[Key]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// cost is the budget charge for one entry.
+func cost(val []byte) int64 { return int64(len(val)) + entryOverhead }
+
+// Get returns the payload stored under k and marks it most recently
+// used. The returned slice must not be modified.
+func (m *Memory) Get(k Key) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[k]
+	if !ok {
+		m.stats.Misses++
+		return nil, false
+	}
+	m.lru.MoveToFront(el)
+	m.stats.Hits++
+	return el.Value.(*memEntry).val, true
+}
+
+// Put stores a copy of val under k, evicting least-recently-used
+// entries as needed to stay inside the byte budget.
+func (m *Memory) Put(k Key, val []byte) {
+	if cost(val) > m.budget {
+		return // would evict the whole cache and still not fit
+	}
+	stored := make([]byte, len(val))
+	copy(stored, val)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[k]; ok {
+		e := el.Value.(*memEntry)
+		m.bytes += cost(stored) - cost(e.val)
+		e.val = stored
+		m.lru.MoveToFront(el)
+	} else {
+		el := m.lru.PushFront(&memEntry{key: k, val: stored})
+		m.entries[k] = el
+		m.bytes += cost(stored)
+	}
+	m.stats.Puts++
+	for m.bytes > m.budget {
+		back := m.lru.Back()
+		if back == nil {
+			break
+		}
+		m.evict(back)
+	}
+}
+
+// evict removes one element; callers hold the lock.
+func (m *Memory) evict(el *list.Element) {
+	e := el.Value.(*memEntry)
+	m.lru.Remove(el)
+	delete(m.entries, e.key)
+	m.bytes -= cost(e.val)
+	m.stats.Evictions++
+}
+
+// Stats snapshots the counters; Entries and Bytes are the resident
+// entry count and the budget-charged resident bytes.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Entries = int64(m.lru.Len())
+	s.Bytes = m.bytes
+	return s
+}
+
+var _ Cache = (*Memory)(nil)

@@ -1,0 +1,144 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func keyN(n int) Key { return KeyOf([]byte(fmt.Sprintf("key-%d", n))) }
+
+func TestKeyOfSegmentation(t *testing.T) {
+	if KeyOf([]byte("ab"), []byte("c")) == KeyOf([]byte("a"), []byte("bc")) {
+		t.Fatal("distinct segmentations of the same bytes collided")
+	}
+	if KeyOf([]byte("x")) != KeyOf([]byte("x")) {
+		t.Fatal("KeyOf is not deterministic")
+	}
+}
+
+// TestLRUEvictionOrder: entries leave in least-recently-used order,
+// and a Get refreshes recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	val := make([]byte, 100)
+	// Budget fits exactly three entries of cost 100+entryOverhead.
+	m := NewMemory(3 * (100 + entryOverhead))
+	for i := 0; i < 3; i++ {
+		m.Put(keyN(i), val)
+	}
+	// Touch key 0: it becomes most recent, so key 1 is now the LRU.
+	if _, ok := m.Get(keyN(0)); !ok {
+		t.Fatal("key 0 missing before any eviction")
+	}
+	m.Put(keyN(3), val) // forces one eviction
+	if _, ok := m.Get(keyN(1)); ok {
+		t.Error("key 1 survived; expected it to be evicted as LRU")
+	}
+	for _, want := range []int{0, 2, 3} {
+		if _, ok := m.Get(keyN(want)); !ok {
+			t.Errorf("key %d evicted; expected it resident", want)
+		}
+	}
+	if st := m.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Errorf("stats = %+v, want 1 eviction, 3 resident entries", st)
+	}
+}
+
+// TestLRUByteAccounting: resident bytes track payload + fixed
+// overhead exactly, through inserts, overwrites, and evictions.
+func TestLRUByteAccounting(t *testing.T) {
+	m := NewMemory(10_000)
+	m.Put(keyN(1), make([]byte, 100))
+	m.Put(keyN(2), make([]byte, 200))
+	if st := m.Stats(); st.Bytes != 300+2*entryOverhead {
+		t.Errorf("bytes = %d, want %d", st.Bytes, 300+2*entryOverhead)
+	}
+	// Overwrite shrinks in place; entry count is unchanged.
+	m.Put(keyN(2), make([]byte, 50))
+	st := m.Stats()
+	if st.Bytes != 150+2*entryOverhead || st.Entries != 2 {
+		t.Errorf("after overwrite: %+v, want bytes=%d entries=2", st, 150+2*entryOverhead)
+	}
+	if st.Puts != 3 {
+		t.Errorf("puts = %d, want 3", st.Puts)
+	}
+	// An entry larger than the whole budget is rejected outright and
+	// charges nothing.
+	m.Put(keyN(3), make([]byte, 20_000))
+	if st := m.Stats(); st.Bytes != 150+2*entryOverhead || st.Entries != 2 {
+		t.Errorf("oversize put disturbed accounting: %+v", st)
+	}
+	// Filling past the budget evicts until the books balance again.
+	for i := 10; i < 30; i++ {
+		m.Put(keyN(i), make([]byte, 400))
+	}
+	st = m.Stats()
+	if st.Bytes > 10_000 {
+		t.Errorf("resident bytes %d exceed the %d budget", st.Bytes, 10_000)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions despite overfill")
+	}
+	// Recompute from resident entries and compare with the books.
+	var want int64
+	resident := 0
+	for i := 0; i < 30; i++ {
+		if v, ok := m.Get(keyN(i)); ok {
+			want += cost(v)
+			resident++
+		}
+	}
+	if int64(resident) != st.Entries || want != st.Bytes {
+		t.Errorf("books disagree with contents: stats %+v, recount entries=%d bytes=%d", st, resident, want)
+	}
+}
+
+// TestLRUGetCopiesNothing: the cache returns its stored copy, and a
+// mutation of the caller's original buffer after Put does not leak in.
+func TestLRUPutCopies(t *testing.T) {
+	m := NewMemory(1 << 20)
+	buf := []byte("original")
+	m.Put(keyN(1), buf)
+	copy(buf, "mutated!")
+	got, ok := m.Get(keyN(1))
+	if !ok || string(got) != "original" {
+		t.Errorf("got %q, want the value as stored", got)
+	}
+}
+
+// TestLRUConcurrent hammers one Memory from many goroutines; run
+// under -race this is the concurrency-safety gate. The final books
+// must balance against the resident contents.
+func TestLRUConcurrent(t *testing.T) {
+	m := NewMemory(50_000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := keyN(i % 64)
+				if i%3 == 0 {
+					m.Put(k, make([]byte, 64+(i%128)))
+				} else if v, ok := m.Get(k); ok && len(v) < 64 {
+					t.Errorf("goroutine %d: got %d-byte value, want >= 64", g, len(v))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Stats()
+	var bytes, entries int64
+	for i := 0; i < 64; i++ {
+		if v, ok := m.Get(keyN(i)); ok {
+			bytes += cost(v)
+			entries++
+		}
+	}
+	if bytes != st.Bytes || entries != st.Entries {
+		t.Errorf("post-race books disagree: stats %+v, recount entries=%d bytes=%d", st, entries, bytes)
+	}
+	if st.Bytes > 50_000 {
+		t.Errorf("resident bytes %d exceed budget", st.Bytes)
+	}
+}

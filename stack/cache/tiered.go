@@ -1,0 +1,70 @@
+package cache
+
+import "sync/atomic"
+
+// Tiered composes caches into levels, fastest first — in practice a
+// memory LRU in front of a disk tier. Create with NewTiered.
+type Tiered struct {
+	levels []Cache
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+}
+
+// NewTiered stacks levels into one Cache, consulted front to back. A
+// Get that misses level i but hits level i+1 promotes the entry into
+// every faster level before returning, so a warm working set migrates
+// into memory while the disk tier keeps the long tail. A Put populates
+// every level. With zero or one level the composition degenerates
+// sensibly (always-miss, or the level itself wrapped with tier
+// counters).
+func NewTiered(levels ...Cache) *Tiered {
+	return &Tiered{levels: levels}
+}
+
+// Get consults the levels in order, promoting hits toward the front.
+func (t *Tiered) Get(k Key) ([]byte, bool) {
+	for i, l := range t.levels {
+		if v, ok := l.Get(k); ok {
+			for j := 0; j < i; j++ {
+				t.levels[j].Put(k, v)
+			}
+			t.hits.Add(1)
+			return v, true
+		}
+	}
+	t.misses.Add(1)
+	return nil, false
+}
+
+// Put stores val in every level.
+func (t *Tiered) Put(k Key, val []byte) {
+	for _, l := range t.levels {
+		l.Put(k, val)
+	}
+	t.puts.Add(1)
+}
+
+// Stats reports the stack-level traffic (a Hit means some level hit; a
+// Miss means every level missed) plus the summed Evictions, Errors,
+// Entries, and Bytes of the levels. Per-level Hits/Misses stay
+// available from the level caches themselves, which the caller
+// constructed.
+func (t *Tiered) Stats() Stats {
+	s := Stats{
+		Hits:   t.hits.Load(),
+		Misses: t.misses.Load(),
+		Puts:   t.puts.Load(),
+	}
+	for _, l := range t.levels {
+		ls := l.Stats()
+		s.Evictions += ls.Evictions
+		s.Errors += ls.Errors
+		s.Entries += ls.Entries
+		s.Bytes += ls.Bytes
+	}
+	return s
+}
+
+var _ Cache = (*Tiered)(nil)

@@ -1,0 +1,81 @@
+package cache
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestTieredPromotion: a disk-only entry is promoted into the memory
+// level by the Get that finds it, so the next lookup never touches
+// disk.
+func TestTieredPromotion(t *testing.T) {
+	mem := NewMemory(1 << 20)
+	disk, err := NewDisk(filepath.Join(t.TempDir(), "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTiered(mem, disk)
+
+	k := KeyOf([]byte("warm"))
+	disk.Put(k, []byte("v")) // simulate an entry surviving a restart
+
+	if v, ok := tc.Get(k); !ok || string(v) != "v" {
+		t.Fatalf("tiered get = %q, %v", v, ok)
+	}
+	if v, ok := mem.Get(k); !ok || string(v) != "v" {
+		t.Fatal("disk hit was not promoted into the memory level")
+	}
+	diskHitsBefore := disk.Stats().Hits
+	if _, ok := tc.Get(k); !ok {
+		t.Fatal("promoted entry missed")
+	}
+	if disk.Stats().Hits != diskHitsBefore {
+		t.Error("second get fell through to disk despite promotion")
+	}
+}
+
+// TestTieredPutAndStats: a Put lands in every level; stack-level
+// hit/miss counters describe the composition, not the parts.
+func TestTieredPutAndStats(t *testing.T) {
+	mem := NewMemory(1 << 20)
+	disk, err := NewDisk(filepath.Join(t.TempDir(), "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTiered(mem, disk)
+
+	k := KeyOf([]byte("x"))
+	tc.Put(k, []byte("payload"))
+	if _, ok := mem.Get(k); !ok {
+		t.Error("put skipped the memory level")
+	}
+	if _, ok := disk.Get(k); !ok {
+		t.Error("put skipped the disk level")
+	}
+	if _, ok := tc.Get(k); !ok {
+		t.Error("tiered get missed a stored key")
+	}
+	if _, ok := tc.Get(KeyOf([]byte("absent"))); ok {
+		t.Error("hit on an absent key")
+	}
+	st := tc.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("tiered stats = %+v, want hits=1 misses=1 puts=1", st)
+	}
+	if st.Entries == 0 || st.Bytes == 0 {
+		t.Errorf("tiered stats do not aggregate level residency: %+v", st)
+	}
+}
+
+// TestTieredEmpty: the degenerate zero-level composition always
+// misses instead of panicking.
+func TestTieredEmpty(t *testing.T) {
+	tc := NewTiered()
+	if _, ok := tc.Get(KeyOf([]byte("k"))); ok {
+		t.Fatal("hit from an empty composition")
+	}
+	tc.Put(KeyOf([]byte("k")), []byte("v"))
+	if st := tc.Stats(); st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -45,4 +45,6 @@ func (s *Stats) Add(other Stats) {
 	s.PromotedAllocas += other.PromotedAllocas
 	s.EliminatedStores += other.EliminatedStores
 	s.GVNHits += other.GVNHits
+	s.CacheResultHits += other.CacheResultHits
+	s.CacheResultMisses += other.CacheResultMisses
 }

@@ -1,0 +1,51 @@
+package service
+
+import (
+	"net"
+	"sync"
+)
+
+// LimitListener wraps l so that at most n connections are open at any
+// moment: Accept blocks while n connections are in flight and resumes
+// as connections close. It is the transport-level guard under the
+// server's request semaphore — admission control sheds load politely
+// with 503s, while the listener cap bounds what a flood of raw
+// connections (idle, slowloris, or pre-handshake) can pin in memory.
+// n <= 0 returns l unchanged.
+//
+// Close on the returned listener closes l; connections already
+// accepted stay open, and each releases its slot exactly once no
+// matter how many times it is closed.
+func LimitListener(l net.Listener, n int) net.Listener {
+	if n <= 0 {
+		return l
+	}
+	return &limitListener{Listener: l, slots: make(chan struct{}, n)}
+}
+
+type limitListener struct {
+	net.Listener
+	slots chan struct{} // one token per open connection
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.slots <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.slots
+		return nil, err
+	}
+	return &limitConn{Conn: c, release: func() { <-l.slots }}, nil
+}
+
+type limitConn struct {
+	net.Conn
+	once    sync.Once
+	release func()
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.release)
+	return err
+}

@@ -10,6 +10,7 @@ package service
 import (
 	"compress/gzip"
 	"crypto/subtle"
+	"fmt"
 	"net/http"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/stack"
+	"repro/stack/cache"
 )
 
 // latencyBucketsMs are the histogram upper bounds in milliseconds;
@@ -110,21 +112,22 @@ type metricsSnapshot struct {
 	// far — the same counters as a sweep's ?stats=1 trailer (queries,
 	// rewriteHits, blastPasses, cacheHits, ...), summed service-wide.
 	Solver stack.Stats `json:"solver"`
+	// ResultCache, present only when the server has a result cache
+	// (Options.CacheStats), snapshots its hit/miss/eviction/residency
+	// counters.
+	ResultCache *cache.Stats `json:"resultCache,omitempty"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		w.Header().Set("Allow", "GET, HEAD")
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"method not allowed"})
-		return
-	}
+// snapshotMetrics collects the current counters; shared by the JSON
+// and Prometheus encodings of /metrics.
+func (s *Server) snapshotMetrics() metricsSnapshot {
 	m := s.metrics
 	snap := metricsSnapshot{
 		UptimeSeconds: int64(time.Since(m.start).Seconds()),
 		// This handler runs under instrument, so the gauge includes the
 		// scrape itself; report the others.
-		InFlight: m.inFlight.Load() - 1,
-		Endpoints:     make(map[string]endpointSnapshot, len(m.endpoints)),
+		InFlight:  m.inFlight.Load() - 1,
+		Endpoints: make(map[string]endpointSnapshot, len(m.endpoints)),
 	}
 	for route, em := range m.endpoints {
 		snap.Endpoints[route] = endpointSnapshot{
@@ -136,7 +139,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.solverMu.Lock()
 	snap.Solver = m.solver
 	m.solverMu.Unlock()
-	writeJSON(w, http.StatusOK, snap)
+	if s.opts.CacheStats != nil {
+		cst := s.opts.CacheStats()
+		snap.ResultCache = &cst
+	}
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"method not allowed"})
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, s.snapshotMetrics())
+	case "prometheus":
+		w.Header().Set("Content-Type", prometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		writePrometheus(w, s.snapshotMetrics())
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("unknown format %q (want json or prometheus)", format)})
+	}
 }
 
 // statusWriter records the response status for error accounting while

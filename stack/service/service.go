@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"repro/stack"
+	"repro/stack/cache"
 )
 
 // Options configures a Server.
@@ -83,6 +84,12 @@ type Options struct {
 	// DisableCompression turns off gzip response compression (on by
 	// default for clients that send Accept-Encoding: gzip).
 	DisableCompression bool
+	// CacheStats, when non-nil, reports the result cache's traffic and
+	// residency counters (normally stack.Analyzer.CacheStats of the
+	// Analyzer behind this server). The snapshot surfaces in /metrics
+	// (both encodings) and in the ?stats=1 sweep trailer's "cache"
+	// object. Leave nil when no cache is configured.
+	CacheStats func() cache.Stats
 }
 
 const (
@@ -436,14 +443,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// Aggregated effort for the whole batch, Figure 16-style,
 		// including the rewrite/incremental solver metrics
 		// (RewriteHits, BlastPasses, LearntsReused).
-		_ = json.NewEncoder(sw).Encode(statsTrailer{Stats: &st})
+		trailer := statsTrailer{Stats: &st}
+		if s.opts.CacheStats != nil {
+			cst := s.opts.CacheStats()
+			trailer.Cache = &cst
+		}
+		_ = json.NewEncoder(sw).Encode(trailer)
 	}
 	sw.flush()
 }
 
 // statsTrailer is the optional final JSONL line of a sweep response.
 // Its single "stats" key distinguishes it from per-file lines, which
-// always carry "file".
+// always carry "file". Cache, present only when the server has a
+// result cache, snapshots the cache's own hit/miss/eviction/residency
+// counters (service-lifetime, not per-request — the per-request view
+// is stats.cacheResultHits/Misses).
 type statsTrailer struct {
 	Stats *stack.Stats `json:"stats"`
+	Cache *cache.Stats `json:"cache,omitempty"`
 }

@@ -1,0 +1,105 @@
+package shard
+
+// The -fleet-status CLI mode shared by cmd/stack and cmd/debian: probe
+// every replica of a fleet once and print the health snapshot. It
+// lives here (rather than copied into each main) so both CLIs validate
+// and report identically.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/stack/client"
+)
+
+// HasFleetStatusFlag reports whether args selects the -fleet-status
+// mode. The CLIs scan for it before their regular flag parse so the
+// mode can use its own strict flag set (FleetStatus) instead of
+// silently accepting sweep/analysis flags that do nothing here. A "--"
+// terminator ends the scan, mirroring the flag package.
+func HasFleetStatusFlag(args []string) bool {
+	for _, a := range args {
+		if a == "--" {
+			break
+		}
+		name, val, hasVal := strings.Cut(a, "=")
+		if name != "-fleet-status" && name != "--fleet-status" {
+			continue
+		}
+		if !hasVal {
+			return true
+		}
+		on, err := strconv.ParseBool(val)
+		return err == nil && on
+	}
+	return false
+}
+
+// FleetStatus implements the -fleet-status mode: parse args against
+// the mode's own flag set — only -remote and -auth-token apply, and
+// anything else (including positional arguments) is a usage error
+// rather than a silently ignored no-op — then probe every replica once
+// and write the fleet health snapshot to stdout as indented JSON.
+//
+// The returned value is the process exit code, documented in the
+// mode's usage text:
+//
+//	0  every replica answered its health probe
+//	1  at least one replica is down
+//	2  usage error, or the probe/encoding failed
+func FleetStatus(stdout, stderr io.Writer, prog string, args []string) int {
+	fs := flag.NewFlagSet(prog+" -fleet-status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	_ = fs.Bool("fleet-status", false, "probe the -remote fleet once and print its health as JSON")
+	remote := fs.String("remote", "", "comma-separated stackd replica addresses (required)")
+	authToken := fs.String("auth-token", "", "bearer token for the replicas")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: %s -fleet-status -remote host1,host2,... [-auth-token T]
+
+Probes every replica once and prints the fleet health snapshot as
+indented JSON: name, up, pending, transitions, lastErr per replica.
+No analysis flag applies in this mode.
+
+Exit codes:
+  0  every replica is up
+  1  at least one replica is down
+  2  usage error, or the probe/encoding failed
+`, prog)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "%s: -fleet-status takes no arguments (got %q)\n", prog, fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if *remote == "" {
+		fmt.Fprintf(stderr, "%s: -fleet-status requires -remote\n", prog)
+		fs.Usage()
+		return 2
+	}
+	d, err := FromHosts(*remote, WithClientOptions(client.WithAuthToken(*authToken)))
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: -remote: %v\n", prog, err)
+		return 2
+	}
+	health := d.ProbeAll(context.Background())
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(health); err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 2
+	}
+	for _, h := range health {
+		if !h.Up {
+			return 1
+		}
+	}
+	return 0
+}

@@ -41,8 +41,10 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	inorder "repro/internal/emit"
 	"repro/internal/ir"
+	"repro/stack/cache"
 )
 
 // Analyzer is a configured instance of the checker. It is safe for
@@ -53,6 +55,7 @@ type Analyzer struct {
 	opts     core.Options
 	workers  int
 	buffered bool
+	cache    *resultCache // nil without WithCache
 }
 
 // config collects option values before the Analyzer is built.
@@ -60,6 +63,7 @@ type config struct {
 	opts     core.Options
 	workers  int
 	buffered bool
+	cache    cache.Cache
 }
 
 // Option configures an Analyzer.
@@ -73,7 +77,13 @@ func New(options ...Option) *Analyzer {
 	for _, o := range options {
 		o(&cfg)
 	}
-	return &Analyzer{opts: cfg.opts, workers: cfg.workers, buffered: cfg.buffered}
+	az := &Analyzer{opts: cfg.opts, workers: cfg.workers, buffered: cfg.buffered}
+	if cfg.cache != nil {
+		// Built after all options have applied, so the key fingerprint
+		// reflects the analyzer's final configuration.
+		az.cache = newResultCache(cfg.cache, cfg.opts)
+	}
+	return az
 }
 
 // WithSolverTimeout bounds each solver query by a wall-clock duration
@@ -146,6 +156,29 @@ func WithLearntBudget(n int) Option {
 	return func(c *config) { c.opts.LearntBudget = n }
 }
 
+// WithCache attaches a content-addressed result cache: before building
+// IR for a source, CheckSource, CheckSources, and Sweep look up the
+// SHA-256 of the source bytes combined with a canonical fingerprint of
+// every result-affecting option; a hit replays the stored diagnostics
+// and per-file shape stats without running the frontend or the solver,
+// a miss analyzes the source and stores the finished result. Because
+// hits flow through the same in-order emitter as fresh results, warm
+// output is byte-identical to cold output for any worker count, in
+// both streaming and buffered modes. Options that cannot affect
+// results — WithWorkers, WithBufferedSweep, the sink format — never
+// enter the key, so one cache serves every execution strategy.
+//
+// Use cache.NewMemory for an in-process LRU, cache.NewDisk for a
+// persistent tier that survives restarts, or cache.NewTiered(mem,
+// disk) for both. The cache may be shared between Analyzers (it is
+// concurrency-safe); entries are only ever served to an Analyzer whose
+// options fingerprint matches the one they were stored under. Traffic
+// shows up as Stats.CacheResultHits / CacheResultMisses and in
+// Analyzer.CacheStats.
+func WithCache(c cache.Cache) Option {
+	return func(cfg *config) { cfg.cache = c }
+}
+
 // WithBufferedSweep selects the legacy collect-then-merge sweep
 // strategy instead of the default O(Workers)-memory streaming emitter.
 // Output is byte-identical either way. Ignored when Sweep is given a
@@ -209,26 +242,37 @@ type Stats struct {
 	PromotedAllocas  int64 `json:"promotedAllocas,omitempty"`
 	EliminatedStores int64 `json:"eliminatedStores,omitempty"`
 	GVNHits          int64 `json:"gvnHits,omitempty"`
+	// Result-cache traffic (all zero unless WithCache is configured):
+	// CacheResultHits counts sources answered whole from the cache —
+	// frontend, IR, and solver all skipped — CacheResultMisses counts
+	// sources analyzed for real. On a hit the shape counters
+	// (Functions, Blocks) replay from the cached entry while the effort
+	// counters (Queries, TermsBlasted, ...) stay untouched: a warm run
+	// genuinely does no solver work.
+	CacheResultHits   int64 `json:"cacheResultHits,omitempty"`
+	CacheResultMisses int64 `json:"cacheResultMisses,omitempty"`
 }
 
 func statsOf(st core.Stats) Stats {
 	return Stats{
-		Functions:        st.Functions,
-		Blocks:           st.Blocks,
-		Queries:          st.Queries,
-		Timeouts:         st.Timeouts,
-		RewriteHits:      st.RewriteHits,
-		TermsCreated:     st.TermsCreated,
-		FastPaths:        st.FastPaths,
-		TermsBlasted:     st.TermsBlasted,
-		BlastPasses:      st.BlastPasses,
-		LearntsReused:    st.LearntsReused,
-		CacheHits:        st.CacheHits,
-		LearntsDropped:   st.LearntsDropped,
-		ArenaBytesReused: st.ArenaBytesReused,
-		PromotedAllocas:  st.PromotedAllocas,
-		EliminatedStores: st.EliminatedStores,
-		GVNHits:          st.GVNHits,
+		Functions:         st.Functions,
+		Blocks:            st.Blocks,
+		Queries:           st.Queries,
+		Timeouts:          st.Timeouts,
+		RewriteHits:       st.RewriteHits,
+		TermsCreated:      st.TermsCreated,
+		FastPaths:         st.FastPaths,
+		TermsBlasted:      st.TermsBlasted,
+		BlastPasses:       st.BlastPasses,
+		LearntsReused:     st.LearntsReused,
+		CacheHits:         st.CacheHits,
+		LearntsDropped:    st.LearntsDropped,
+		ArenaBytesReused:  st.ArenaBytesReused,
+		PromotedAllocas:   st.PromotedAllocas,
+		EliminatedStores:  st.EliminatedStores,
+		GVNHits:           st.GVNHits,
+		CacheResultHits:   st.CacheResultHits,
+		CacheResultMisses: st.CacheResultMisses,
 	}
 }
 
@@ -265,16 +309,48 @@ func checkOne(ctx context.Context, checker *core.Checker, name, src string) ([]*
 // Cancelling ctx aborts the analysis within one solver check interval
 // and returns ctx's error.
 func (a *Analyzer) CheckSource(ctx context.Context, name, src string) (*Result, error) {
+	if a.cache != nil {
+		if cf, ok := a.cache.Lookup(name, src); ok {
+			var st core.Stats
+			replayCacheHit(&st, cf)
+			return &Result{
+				File:        name,
+				Diagnostics: diagnosticsOf(cf.Reports),
+				Stats:       statsOf(st),
+			}, nil
+		}
+	}
 	checker := core.New(a.opts)
 	reports, err := checkOne(ctx, checker, name, src)
 	if err != nil {
 		return nil, err
 	}
+	st := checker.Stats()
+	if a.cache != nil {
+		st.CacheResultMisses = 1
+		a.cache.Store(name, src, corpus.CachedFile{
+			Functions: st.Functions,
+			Blocks:    st.Blocks,
+			Reports:   reports,
+		})
+	}
 	return &Result{
 		File:        name,
 		Diagnostics: diagnosticsOf(reports),
-		Stats:       statsOf(checker.Stats()),
+		Stats:       statsOf(st),
 	}, nil
+}
+
+// replayCacheHit folds one cache hit into st: the hit counter plus the
+// program-shape counters the checker would have accumulated. Effort
+// counters stay zero — the hit did no solver work.
+func replayCacheHit(st *core.Stats, cf corpus.CachedFile) {
+	st.CacheResultHits++
+	st.Functions += cf.Functions
+	st.Blocks += cf.Blocks
+	for _, r := range cf.Reports {
+		st.ReportsByAlgo[r.Algo]++
+	}
 }
 
 // CheckFile reads path and analyzes it as a C source.
@@ -337,6 +413,7 @@ func (a *Analyzer) CheckSources(ctx context.Context, srcs []Source, emit func(Fi
 		}
 	})
 	workerStats := make([]core.Stats, workers)
+	cacheStats := make([]core.Stats, workers) // per-worker result-cache traffic
 	idxCh := make(chan int)
 	// failedIdx holds the smallest input index that has errored so
 	// far. Skipping strictly later indices (never earlier ones) keeps
@@ -361,6 +438,15 @@ func (a *Analyzer) CheckSources(ctx context.Context, srcs []Source, emit func(Fi
 					ord.Put(i, outcome{})
 					continue
 				}
+				if a.cache != nil {
+					if cf, ok := a.cache.Lookup(srcs[i].Name, srcs[i].Text); ok {
+						replayCacheHit(&cacheStats[w], cf)
+						ord.Put(i, outcome{diags: diagnosticsOf(cf.Reports)})
+						continue
+					}
+					cacheStats[w].CacheResultMisses++
+				}
+				before := checker.Stats()
 				reports, err := checkOne(ctx, checker, srcs[i].Name, srcs[i].Text)
 				if err != nil {
 					for {
@@ -371,6 +457,14 @@ func (a *Analyzer) CheckSources(ctx context.Context, srcs []Source, emit func(Fi
 					}
 					ord.Put(i, outcome{err: err})
 					continue
+				}
+				if a.cache != nil {
+					after := checker.Stats()
+					a.cache.Store(srcs[i].Name, srcs[i].Text, corpus.CachedFile{
+						Functions: after.Functions - before.Functions,
+						Blocks:    after.Blocks - before.Blocks,
+						Reports:   reports,
+					})
 				}
 				ord.Put(i, outcome{diags: diagnosticsOf(reports)})
 			}
@@ -392,6 +486,9 @@ func (a *Analyzer) CheckSources(ctx context.Context, srcs []Source, emit func(Fi
 	var st core.Stats
 	for _, ws := range workerStats {
 		st.Add(ws)
+	}
+	for _, cs := range cacheStats {
+		st.Add(cs)
 	}
 	return statsOf(st), firstErr
 }

@@ -27,6 +27,13 @@ type SweepResult struct {
 	Reports             int   `json:"reports"`
 	Queries             int64 `json:"queries"`
 	Timeouts            int64 `json:"timeouts"`
+	// CacheResultHits / CacheResultMisses count files answered whole
+	// from the WithCache result cache versus analyzed for real; both
+	// are zero without a cache. They are operational counters, not
+	// analysis results, so Format() omits them and the text block stays
+	// byte-identical between cold and warm runs.
+	CacheResultHits   int64 `json:"cacheResultHits,omitempty"`
+	CacheResultMisses int64 `json:"cacheResultMisses,omitempty"`
 	// BuildTime and AnalysisTime are wall-clock sums over workers.
 	BuildTime    time.Duration `json:"buildTimeNs"`
 	AnalysisTime time.Duration `json:"analysisTimeNs"`
@@ -54,6 +61,11 @@ func (a *Analyzer) Sweep(ctx context.Context, pkgs []Package, sink Sink) (*Sweep
 		cps[i] = corpus.Package{Name: p.Name, Files: p.Files}
 	}
 	sw := &corpus.Sweeper{Options: a.opts, Workers: a.workers, Buffered: a.buffered}
+	if a.cache != nil {
+		// Assigned only when non-nil: a typed-nil *resultCache in the
+		// interface field would make the sweeper consult a dead cache.
+		sw.Cache = a.cache
+	}
 
 	var res *corpus.SweepResult
 	var err error
@@ -99,6 +111,8 @@ func (a *Analyzer) Sweep(ctx context.Context, pkgs []Package, sink Sink) (*Sweep
 		Reports:             res.Reports,
 		Queries:             res.Queries,
 		Timeouts:            res.Timeouts,
+		CacheResultHits:     res.CacheResultHits,
+		CacheResultMisses:   res.CacheResultMisses,
 		BuildTime:           res.BuildTime,
 		AnalysisTime:        res.AnalysisTime,
 		inner:               res,
