@@ -77,11 +77,12 @@ cache-identity:
 	$(GO) test -race ./stack/cache
 
 # Short smoke run of the Figure 16 Kerberos profile plus the parallel
-# sweep, incremental-vs-scratch, SSA chain-heavy, and warm result-cache
-# benchmarks (speedup-vs-serial, rewrite-hit-rate, queries-per-blast,
-# blast-reduction, and warm-hit-rate metrics).
+# sweep, incremental-vs-scratch, SSA chain-heavy, SCCP branch-heavy,
+# and warm result-cache benchmarks (speedup-vs-serial,
+# rewrite-hit-rate, queries-per-blast, blast-reduction,
+# sccp-folded-branches, hoisted-ub-terms, and warm-hit-rate metrics).
 bench-smoke:
-	$(GO) test -run NONE -bench 'BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch|BenchmarkSSAChainHeavy|BenchmarkWarmSweep' -benchtime=1x
+	$(GO) test -run NONE -bench 'BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch|BenchmarkSSAChainHeavy|BenchmarkSCCPBranchHeavy|BenchmarkWarmSweep' -benchtime=1x
 
 # Full paper-figure regeneration (see EXPERIMENTS.md).
 bench:
@@ -92,7 +93,7 @@ bench:
 # PR advances the trajectory. bench-gate reruns the set and fails on
 # regression against the newest committed BENCH_<n>.json; with no
 # checkpoint committed it passes with a notice.
-BENCH_CHECKPOINT ?= 8
+BENCH_CHECKPOINT ?= 9
 bench-json:
 	$(GO) run ./scripts/benchjson -out BENCH_$(BENCH_CHECKPOINT).json
 
@@ -101,12 +102,19 @@ bench-gate:
 
 # Run each native fuzz target briefly (go test allows one -fuzz
 # pattern per invocation). Seed corpora live under testdata/fuzz and
-# are also replayed by plain `make test`.
+# are also replayed by plain `make test`. The last four are the SSA
+# differential oracles: end-to-end byte identity of checker output
+# keyed on SSASharpened, plus per-pass execution equivalence for SCCP,
+# loop-invariant UB hoisting, and cross-block GVN.
 fuzz-smoke:
 	$(GO) test ./internal/cc -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cc -run '^$$' -fuzz '^FuzzPreprocess$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cc -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bv -run '^$$' -fuzz '^FuzzTermConstruction$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzSSADifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ir -run '^$$' -fuzz '^FuzzSCCPDifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ir -run '^$$' -fuzz '^FuzzHoistDifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ir -run '^$$' -fuzz '^FuzzGVNDifferential$$' -fuzztime $(FUZZTIME)
 
 # End-to-end service smoke: build stackd + the stack CLI, start two
 # replicas, and require a sharded `stack -remote` run (text and jsonl)

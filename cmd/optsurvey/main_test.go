@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/compilers"
+)
+
+// TestReportMatch regenerates the real matrix and requires the clean
+// exit path: code 0, nothing on stderr, and the all-cells-match line.
+func TestReportMatch(t *testing.T) {
+	rows, err := compilers.Survey()
+	if err != nil {
+		t.Fatalf("Survey: %v", err)
+	}
+	var out, errw bytes.Buffer
+	if code := report(rows, &out, &errw); code != 0 {
+		t.Fatalf("exit code = %d on the pristine matrix, want 0 (stderr %q)", code, errw.String())
+	}
+	if errw.Len() != 0 {
+		t.Fatalf("stderr = %q on the pristine matrix, want empty", errw.String())
+	}
+	if !strings.Contains(out.String(), "all 96 cells match") {
+		t.Fatalf("stdout missing the all-cells-match line:\n%s", out.String())
+	}
+}
+
+// TestReportMismatch tampers with regenerated cells and requires the
+// failure path: non-zero exit and a diagnostic counting every
+// deviating cell.
+func TestReportMismatch(t *testing.T) {
+	rows, err := compilers.Survey()
+	if err != nil {
+		t.Fatalf("Survey: %v", err)
+	}
+	// Flip two cells in one row: the count must reflect both, not just
+	// the first hit.
+	name := compilers.Models[0].Name
+	row := rows[name]
+	row[0]++
+	row[compilers.NumExamples-1]--
+	rows[name] = row
+
+	var out, errw bytes.Buffer
+	if code := report(rows, &out, &errw); code != 1 {
+		t.Fatalf("exit code = %d on a tampered matrix, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "2 cell(s) deviate") {
+		t.Fatalf("stderr = %q, want a 2-cell deviation diagnostic", errw.String())
+	}
+	if strings.Contains(out.String(), "all 96 cells match") {
+		t.Fatalf("stdout claims a match on a tampered matrix:\n%s", out.String())
+	}
+}

@@ -64,24 +64,38 @@
 // Dispatcher.ProbeAll health snapshot as JSON, exiting 1 if any
 // replica is down.
 //
-// # SSA analysis layer
+// # SSA analysis layer (on by default)
 //
-// stack.WithSSA(true) runs a pruned-SSA pass stack over each
-// function before encoding: mem2reg promotes non-escaping
-// address-taken locals to phi-connected values (pruned phi placement
-// on dominance frontiers, with alias-forwarding through the pointer
-// phis the IR builder threads between blocks), same-block
-// value numbering merges structurally identical pure computations
-// without moving any report position, and dead-store elimination
-// drops stores overwritten before any load or call. Promoted values
-// are immutable, so the bit-vector layer hash-conses duplicated
-// computation chains instead of re-blasting them per opaque load —
-// Stats gains promotedAllocas, eliminatedStores, and gvnHits
-// (omitted from the JSON trailer when zero, keeping legacy bytes
-// unchanged). The option is differentially gated: sweep output with
-// SSA on is byte-identical to the legacy pipeline on the archive
-// corpus (raced across worker counts), a fuzz target enforces the
-// per-pass contract on arbitrary programs, and the BENCH_7
+// The SSA pass stack runs over each function before encoding, and —
+// since the global-analysis suite landed — it is on by default:
+// stack.New() analyzes in SSA mode, and stack.WithSSA(false) is the
+// escape hatch that selects the legacy pipeline, kept alive as the
+// differential reference the gates compare against. The stack is:
+// mem2reg promotes non-escaping address-taken locals to
+// phi-connected values (pruned phi placement on dominance frontiers,
+// with alias-forwarding through the pointer phis the IR builder
+// threads between blocks); sparse conditional constant propagation
+// folds values and branch conditions proved constant by the
+// optimistic executable-edge iteration; global value numbering merges
+// structurally identical pure computations within a block and into
+// dominating blocks, without moving any report position; dead-store
+// elimination drops stores overwritten before any load or call; and
+// loop-invariant UB hoisting lifts UB-carrying computations out of
+// natural loops into the preheader. On acyclic CFGs the checker
+// additionally runs elimination dominator-ordered: a satisfiable
+// block's verdict forces its dominators' query outcomes, so their
+// solver calls are skipped outright. Promoted values are immutable,
+// so the bit-vector layer hash-conses duplicated computation chains
+// instead of re-blasting them per opaque load — Stats gains
+// promotedAllocas, eliminatedStores, gvnHits, sccpFoldedValues,
+// sccpFoldedBranches, sccpUnreachableBlocks, crossBlockGvnHits,
+// hoistedUbTerms, and domOrderedSkips (omitted from the JSON trailer
+// when zero, keeping legacy bytes unchanged). The default is
+// differentially gated: sweep output with SSA on is byte-identical
+// to the legacy pipeline on the archive corpus (raced across worker
+// counts and both sink modes), per-pass fuzz oracles enforce each
+// pass's contract on arbitrary programs, scripts/invariants.sh
+// refuses any pass lacking a counter or an oracle, and the BENCH_9
 // checkpoint pins the solver-work reduction (make ssa-differential
 // runs the gate; it is part of make ci).
 //
@@ -141,10 +155,11 @@
 // Performance is tracked as a machine-readable trajectory: committed
 // BENCH_<n>.json checkpoints produced by scripts/benchjson from the
 // trajectory benchmark set (Fig. 16 Kerberos, the parallel sweep,
-// incremental-vs-scratch solving, the SSA chain-heavy corpus, and the
-// warm result-cache sweep), recording ns/op, allocs/op, and every
-// custom metric (queries-per-blast, rewrite-hit-rate, cache-hit-rate,
-// blast-reduction, speedup-vs-serial, warm-hit-rate). `make
+// incremental-vs-scratch solving, the SSA chain-heavy corpus, the SCCP
+// branch-heavy corpus, and the warm result-cache sweep), recording
+// ns/op, allocs/op, and every custom metric (queries-per-blast,
+// rewrite-hit-rate, cache-hit-rate, blast-reduction, speedup-vs-serial,
+// sccp-folded-branches, hoisted-ub-terms, warm-hit-rate). `make
 // bench-json` regenerates
 // the current checkpoint; `make bench-gate` — part of `make ci` —
 // reruns the set and fails on regression outside the tolerance bands

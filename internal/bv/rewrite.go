@@ -162,6 +162,84 @@ func (b *Builder) rewriteExtract(x *Term, hi, lo int) *Term {
 	return nil
 }
 
+// absorbOr applies the absorption laws for a | other with other an
+// And: a | (a & y) = a, and with a complemented factor,
+// a | (¬a & y) = a | y. The second shape is how the checker's
+// block-reachability joins look once one arm's guard negates the
+// other's — the guard's whole cone on that side never blasts. Each
+// rule strictly shrinks the tree, so the recursive rebuild terminates.
+func (b *Builder) absorbOr(a, other *Term) *Term {
+	if other.op != OpAnd {
+		return nil
+	}
+	l, r := other.args[0], other.args[1]
+	if l == a || r == a {
+		return b.hit(a) // a | (a & y) = a
+	}
+	if complementary(l, a) {
+		return b.hit(b.Or(a, r)) // a | (¬a & y) = a | y
+	}
+	if complementary(r, a) {
+		return b.hit(b.Or(a, l))
+	}
+	return nil
+}
+
+// absorbAnd is the dual of absorbOr: a & (a | y) = a and
+// a & (¬a | y) = a & y.
+func (b *Builder) absorbAnd(a, other *Term) *Term {
+	if other.op != OpOr {
+		return nil
+	}
+	l, r := other.args[0], other.args[1]
+	if l == a || r == a {
+		return b.hit(a) // a & (a | y) = a
+	}
+	if complementary(l, a) {
+		return b.hit(b.And(a, r)) // a & (¬a | y) = a & y
+	}
+	if complementary(r, a) {
+		return b.hit(b.And(a, l))
+	}
+	return nil
+}
+
+// factorOr applies complementary factoring to x | y: when x = a & c
+// and y = a & ¬c under any pairing of the And factors, x | y = a —
+// bitwise, (a&c)|(a&¬c) = a&(c|¬c) = a&~0 = a at every width. This is
+// the shape of a join block's reachability whose two in-edges carry a
+// guard and its negation: the whole Or/And cone collapses to the
+// common prefix and never blasts. Returns nil when the law does not
+// apply; the caller records the hit.
+func factorOr(x, y *Term) *Term {
+	if x.op != OpAnd || y.op != OpAnd {
+		return nil
+	}
+	for _, xp := range [2][2]*Term{{x.args[0], x.args[1]}, {x.args[1], x.args[0]}} {
+		for _, yp := range [2][2]*Term{{y.args[0], y.args[1]}, {y.args[1], y.args[0]}} {
+			if xp[0] == yp[0] && complementary(xp[1], yp[1]) {
+				return xp[0] // (a & c) | (a & ¬c) = a
+			}
+		}
+	}
+	return nil
+}
+
+// factorAnd is the dual: (a | c) & (a | ¬c) = a.
+func factorAnd(x, y *Term) *Term {
+	if x.op != OpOr || y.op != OpOr {
+		return nil
+	}
+	for _, xp := range [2][2]*Term{{x.args[0], x.args[1]}, {x.args[1], x.args[0]}} {
+		for _, yp := range [2][2]*Term{{y.args[0], y.args[1]}, {y.args[1], y.args[0]}} {
+			if xp[0] == yp[0] && complementary(xp[1], yp[1]) {
+				return xp[0]
+			}
+		}
+	}
+	return nil
+}
+
 // rewriteConcat folds constant concatenation.
 func (b *Builder) rewriteConcat(hi, lo *Term) *Term {
 	if hi.op == OpConst && lo.op == OpConst {
@@ -197,6 +275,25 @@ func (b *Builder) rewriteBinary(op Op, x, y *Term) *Term {
 		if complementary(x, y) {
 			return b.hit(b.Const(big.NewInt(0), x.width)) // x & ¬x = 0
 		}
+		if t := b.absorbAnd(x, y); t != nil {
+			return t
+		}
+		if t := b.absorbAnd(y, x); t != nil {
+			return t
+		}
+		if t := factorAnd(x, y); t != nil {
+			return b.hit(t)
+		}
+		// One level of re-association: (p & q) & r factors r against
+		// either conjunct, so chains built left-to-right still collapse.
+		if x.op == OpAnd {
+			if t := factorAnd(x.args[1], y); t != nil {
+				return b.hit(b.And(x.args[0], t))
+			}
+			if t := factorAnd(x.args[0], y); t != nil {
+				return b.hit(b.And(t, x.args[1]))
+			}
+		}
 	case OpOr:
 		if cy {
 			if y.val.Sign() == 0 {
@@ -211,6 +308,26 @@ func (b *Builder) rewriteBinary(op Op, x, y *Term) *Term {
 		}
 		if complementary(x, y) {
 			return b.hit(b.Const(mask(x.width), x.width)) // x | ¬x = ~0
+		}
+		if t := b.absorbOr(x, y); t != nil {
+			return t
+		}
+		if t := b.absorbOr(y, x); t != nil {
+			return t
+		}
+		if t := factorOr(x, y); t != nil {
+			return b.hit(t)
+		}
+		// One level of re-association: (p | q) | r factors r against
+		// either disjunct — the shape of a join block's reachability
+		// folded over three or more predecessors.
+		if x.op == OpOr {
+			if t := factorOr(x.args[1], y); t != nil {
+				return b.hit(b.Or(x.args[0], t))
+			}
+			if t := factorOr(x.args[0], y); t != nil {
+				return b.hit(b.Or(t, x.args[1]))
+			}
 		}
 	case OpXor:
 		if x == y {

@@ -198,6 +198,61 @@ var ruleTests = []ruleTest{
 		func(x, y *big.Int) *big.Int { return mask(ruleWidth) },
 		func(b *Builder, x, y, got *Term) bool { return isAllOnes(got) }},
 
+	// Absorption (both operand orders; the complemented-factor forms
+	// are the shapes reachability joins collapse to).
+	{"or-absorb", func(b *Builder, x, y *Term) *Term { return b.Or(x, b.And(x, y)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"or-absorb-swapped", func(b *Builder, x, y *Term) *Term { return b.Or(b.And(y, x), x) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"or-absorb-complement", func(b *Builder, x, y *Term) *Term { return b.Or(x, b.And(b.Not(x), y)) },
+		func(x, y *big.Int) *big.Int { return new(big.Int).Or(x, y) },
+		func(b *Builder, x, y, got *Term) bool { return got == b.Or(x, y) }},
+	{"or-absorb-complement-swapped", func(b *Builder, x, y *Term) *Term { return b.Or(b.And(y, b.Not(x)), x) },
+		func(x, y *big.Int) *big.Int { return new(big.Int).Or(x, y) },
+		func(b *Builder, x, y, got *Term) bool { return got == b.Or(x, y) }},
+	{"and-absorb", func(b *Builder, x, y *Term) *Term { return b.And(x, b.Or(x, y)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"and-absorb-swapped", func(b *Builder, x, y *Term) *Term { return b.And(b.Or(y, x), x) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"and-absorb-complement", func(b *Builder, x, y *Term) *Term { return b.And(x, b.Or(b.Not(x), y)) },
+		func(x, y *big.Int) *big.Int { return new(big.Int).And(x, y) },
+		func(b *Builder, x, y, got *Term) bool { return got == b.And(x, y) }},
+	{"and-absorb-complement-swapped", func(b *Builder, x, y *Term) *Term { return b.And(b.Or(y, b.Not(x)), x) },
+		func(x, y *big.Int) *big.Int { return new(big.Int).And(x, y) },
+		func(b *Builder, x, y, got *Term) bool { return got == b.And(x, y) }},
+
+	// Complementary factoring: a two-way reachability join collapses
+	// to the shared path prefix, including through one level of
+	// left-associated folding (three predecessors).
+	{"or-factor", func(b *Builder, x, y *Term) *Term { return b.Or(b.And(x, y), b.And(x, b.Not(y))) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"or-factor-swapped", func(b *Builder, x, y *Term) *Term { return b.Or(b.And(y, x), b.And(b.Not(y), x)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"or-factor-assoc", func(b *Builder, x, y *Term) *Term {
+		// (p | (x & y)) | (x & ¬y) with p inert: the complementary pair
+		// factors through the left-associated fold.
+		return b.Or(b.Or(b.Xor(x, y), b.And(x, y)), b.And(x, b.Not(y)))
+	},
+		func(x, y *big.Int) *big.Int { return new(big.Int).Or(new(big.Int).Xor(x, y), x) },
+		func(b *Builder, x, y, got *Term) bool { return got == b.Or(b.Xor(x, y), x) }},
+	{"and-factor", func(b *Builder, x, y *Term) *Term { return b.And(b.Or(x, y), b.Or(x, b.Not(y))) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"and-factor-swapped", func(b *Builder, x, y *Term) *Term { return b.And(b.Or(y, x), b.Or(b.Not(y), x)) },
+		func(x, y *big.Int) *big.Int { return x },
+		func(b *Builder, x, y, got *Term) bool { return got == x }},
+	{"and-factor-assoc", func(b *Builder, x, y *Term) *Term {
+		return b.And(b.And(b.Xor(x, y), b.Or(x, y)), b.Or(x, b.Not(y)))
+	},
+		func(x, y *big.Int) *big.Int { return new(big.Int).And(new(big.Int).Xor(x, y), x) },
+		func(b *Builder, x, y, got *Term) bool { return got == b.And(b.Xor(x, y), x) }},
+
 	// Double negation.
 	{"not-not", func(b *Builder, x, y *Term) *Term { return b.Not(b.Not(x)) },
 		func(x, y *big.Int) *big.Int { return x },

@@ -75,13 +75,19 @@ type Options struct {
 	// Production callers leave ScratchSolve false.
 	ScratchSolve bool
 	// SSA runs the pruned-SSA pass stack (ir.RunSSAPasses: mem2reg
-	// promotion of non-escaping allocas, value numbering, dead-store
-	// elimination) over each function before UB-condition insertion
-	// and encoding. The passes are engineered so that sweep output is
-	// byte-identical to the legacy pipeline across the synthetic
-	// corpus (TestSSAVsLegacyByteIdentity); the difference is effort —
+	// promotion of non-escaping allocas, sparse conditional constant
+	// propagation, dominator-ordered value numbering, dead-store
+	// elimination, loop-invariant UB hoisting) over each function
+	// before UB-condition insertion and encoding, and enables the
+	// dominator-ordered elimination walk on acyclic CFGs. On since
+	// PR 10 (set by DefaultOptions); the legacy pipeline remains the
+	// differential reference behind SSA=false. The passes are
+	// engineered so that sweep output is byte-identical to the legacy
+	// pipeline across the synthetic corpus
+	// (TestSSAVsLegacyByteIdentity); the difference is effort —
 	// promoted loads stop encoding as distinct opaque variables, so
-	// downstream terms hash-cons and fewer terms reach the SAT core.
+	// downstream terms hash-cons and fewer terms reach the SAT core,
+	// and dominator-implied elimination queries are skipped.
 	SSA bool
 	// Flags models the gcc options discussed in §7 that promise
 	// C*-like semantics for some UB kinds: code is not unstable with
@@ -118,12 +124,15 @@ func (fl Flags) definesAway(k UBKind) bool {
 	return false
 }
 
-// DefaultOptions mirror the paper's configuration.
+// DefaultOptions mirror the paper's configuration, plus the SSA
+// analysis pipeline, on by default since PR 10 (WithSSA(false) /
+// Options.SSA=false is the escape hatch and differential reference).
 var DefaultOptions = Options{
 	Timeout:       5 * time.Second,
 	FilterOrigins: true,
 	MinUBSets:     true,
 	Inline:        true,
+	SSA:           true,
 }
 
 // Stats aggregates checker effort, the quantities of the paper's
@@ -164,10 +173,33 @@ type Stats struct {
 	// counts address-taken variables mem2reg rewrote into SSA values,
 	// EliminatedStores counts stores deleted by promotion and
 	// dead-store elimination, GVNHits counts values merged into a
-	// structurally identical representative.
+	// structurally identical representative in the same block.
 	PromotedAllocas  int64
 	EliminatedStores int64
 	GVNHits          int64
+	// Global-analysis effort (PR 10, all zero unless Options.SSA):
+	// SCCPFoldedValues counts instructions sparse conditional constant
+	// propagation transmuted to constants, SCCPFoldedBranches counts
+	// branch conditions it proved constant, SCCPUnreachableBlocks
+	// counts blocks with no executable in-edge, SCCPSharpened counts
+	// the lattice-only facts beyond the rewrite layer's reach,
+	// CrossBlockGVNHits counts values merged into a representative in
+	// a dominating block, HoistedUBTerms counts UB-carrying
+	// instructions hoisted out of loop headers, and DomOrderedSkips
+	// counts elimination queries skipped because a dominated block's
+	// satisfiable verdict implied them.
+	SCCPFoldedValues      int64
+	SCCPFoldedBranches    int64
+	SCCPUnreachableBlocks int64
+	SCCPSharpened         int64
+	CrossBlockGVNHits     int64
+	HoistedUBTerms        int64
+	DomOrderedSkips       int64
+	// SSASharpened counts functions where the pass stack proved a fact
+	// beyond the encoding layer's rewrite rules (ir.PassStats.Sharpening)
+	// — when zero, checker output is provably byte-identical to the
+	// legacy pipeline's, which the differential fuzz oracle enforces.
+	SSASharpened int64
 	// Result-cache traffic (all zero without a configured cache; see
 	// stack.WithCache): CacheResultHits counts sources answered whole
 	// from the content-addressed result cache — frontend, IR, and
@@ -207,6 +239,14 @@ func (s *Stats) Add(other Stats) {
 	s.PromotedAllocas += other.PromotedAllocas
 	s.EliminatedStores += other.EliminatedStores
 	s.GVNHits += other.GVNHits
+	s.SCCPFoldedValues += other.SCCPFoldedValues
+	s.SCCPFoldedBranches += other.SCCPFoldedBranches
+	s.SCCPUnreachableBlocks += other.SCCPUnreachableBlocks
+	s.SCCPSharpened += other.SCCPSharpened
+	s.CrossBlockGVNHits += other.CrossBlockGVNHits
+	s.HoistedUBTerms += other.HoistedUBTerms
+	s.DomOrderedSkips += other.DomOrderedSkips
+	s.SSASharpened += other.SSASharpened
 	s.CacheResultHits += other.CacheResultHits
 	s.CacheResultMisses += other.CacheResultMisses
 }
@@ -296,11 +336,22 @@ func (c *Checker) CheckFunc(ctx context.Context, f *ir.Func) ([]*Report, error) 
 	// must see the final IR. The passes touch no blocks or edges, so
 	// the dominator tree computed first stays valid.
 	dom := ir.ComputeDom(f)
+	ssaAcyclic := false
 	if c.opts.SSA {
 		ps := ir.RunSSAPasses(f, dom)
 		c.stats.PromotedAllocas += int64(ps.PromotedAllocas)
 		c.stats.EliminatedStores += int64(ps.EliminatedStores)
 		c.stats.GVNHits += int64(ps.GVNHits)
+		c.stats.SCCPFoldedValues += int64(ps.SCCPFoldedValues)
+		c.stats.SCCPFoldedBranches += int64(ps.SCCPFoldedBranches)
+		c.stats.SCCPUnreachableBlocks += int64(ps.SCCPUnreachableBlocks)
+		c.stats.SCCPSharpened += int64(ps.SCCPSharpened)
+		c.stats.CrossBlockGVNHits += int64(ps.CrossBlockGVNHits)
+		c.stats.HoistedUBTerms += int64(ps.HoistedUBTerms)
+		if ps.Sharpening() {
+			c.stats.SSASharpened++
+		}
+		ssaAcyclic = len(ir.BackEdges(f)) == 0
 	}
 	enc := newEncoder(bld, f)
 	ubs := insertUBConds(f)
@@ -308,6 +359,7 @@ func (c *Checker) CheckFunc(ctx context.Context, f *ir.Func) ([]*Report, error) 
 	st := &funcState{
 		c: c, ctx: ctx, f: f, enc: enc, solver: solver, ubs: ubs, dom: dom,
 		eliminated: map[*ir.Block]bool{},
+		domOrdered: ssaAcyclic,
 	}
 	for _, b := range f.Blocks {
 		for _, v := range b.Values() {
@@ -334,6 +386,7 @@ func (c *Checker) CheckFunc(ctx context.Context, f *ir.Func) ([]*Report, error) 
 	c.stats.BlastPasses += solver.BlastPasses
 	c.stats.LearntsReused += solver.LearntsReused
 	c.stats.LearntsDropped += solver.LearntsDropped()
+	c.stats.DomOrderedSkips += st.domSkips
 	c.stats.ArenaBytesReused += c.arena.BytesReused() - arenaReusedBefore
 	for _, r := range reports {
 		c.stats.ReportsByAlgo[r.Algo]++
@@ -354,6 +407,13 @@ type funcState struct {
 	dom        *ir.DomTree
 	allConds   []*UBCond
 	eliminated map[*ir.Block]bool
+	// domOrdered enables the dominator-ordered elimination walk: the
+	// function is acyclic (no reachability widening) and in SSA mode,
+	// so a block's satisfiable elimination queries imply its
+	// dominators' and those queries can be skipped. domSkips counts
+	// the queries skipped that the plain walk would have issued.
+	domOrdered bool
+	domSkips   int64
 }
 
 // wellDefinedTerms encodes the well-defined program assumption ∆ (Def.
@@ -397,11 +457,112 @@ func (st *funcState) wellDefinedTerms(b *ir.Block, uptoTerm bool) ([]*bv.Term, [
 	return terms, kept
 }
 
+// elimVerdict memoizes one block's elimination queries. p1 and p2
+// default to Sat when a query was skipped because a dominated block's
+// satisfiable verdict already implied the answer (see eliminate).
+type elimVerdict struct {
+	trivial bool // reachability const-false: silently eliminated
+	r       *bv.Term
+	p1      bv.Result
+	negs    []*bv.Term
+	kept    []*UBCond
+	p2      bv.Result
+	coreIdx []int
+}
+
+// elimQueries issues the Fig. 5 solver queries for one block.
+// forcedReach/forcedAlive record that a block dominated by b already
+// answered Sat in phase 1 / phase 2: in an acyclic CFG every path to
+// that block passes through b, so any model of its reachability (and
+// of its ∆ — whose per-condition terms are pointwise implied, plain
+// ¬U_d ⇒ guarded Or(¬R'_d, ¬U_d), identical terms otherwise) is a
+// model of b's, and the query is skipped as Sat. Skips are counted
+// only where the plain walk would actually have queried. A forcedAlive
+// block still computes its ∆ terms — the plain walk does too before
+// its phase-2 query, and term construction must not depend on the
+// walk order.
+func (st *funcState) elimQueries(b *ir.Block, forcedReach, forcedAlive bool) elimVerdict {
+	v := elimVerdict{p1: bv.Sat, p2: bv.Sat}
+	v.r = st.enc.reachability(b)
+	if v.r.IsConstBool(false) {
+		v.trivial = true // trivially unreachable
+		return v
+	}
+	// Phase 1 (without ∆): trivially unreachable code is removed
+	// silently, exactly as a C* compiler could. Constant-true
+	// reachability (common after word-level rewriting) needs no
+	// query at all.
+	if !v.r.IsConstBool(true) {
+		if forcedReach || forcedAlive {
+			st.domSkips++
+		} else {
+			v.p1 = st.solver.SolveContext(st.ctx, v.r)
+			if v.p1 != bv.Sat {
+				return v
+			}
+		}
+	}
+	// Phase 2 (with the well-defined program assumption).
+	v.negs, v.kept = st.wellDefinedTerms(b, false)
+	if len(v.negs) == 0 {
+		return v
+	}
+	if forcedAlive {
+		st.domSkips++
+		return v
+	}
+	assumptions := append([]*bv.Term{v.r}, v.negs...)
+	v.p2, v.coreIdx = st.solver.SolveCoreContext(st.ctx, assumptions...)
+	return v
+}
+
 // eliminate implements Fig. 5 over basic blocks: report blocks that
 // are reachable under C* but unreachable under the well-defined
 // program assumption.
+//
+// In dominator-ordered mode (SSA on, acyclic function) the solver
+// queries run in a pre-pass over the blocks in reverse layout order,
+// and a block whose phase answered Sat forces the same answer on all
+// its dominators, whose queries are then skipped (elimQueries). The
+// verdict for every decided query is identical to the plain walk's —
+// only queries whose answer is implied are dropped — and the verdicts
+// are consumed in layout order below, so the eliminated set, the
+// downstream-frontier suppression, and the report order are unchanged.
+// Like ScratchSolve, the different query order can shift which query a
+// conflict or time budget expires on; outside budget exhaustion the
+// output is byte-identical.
 func (st *funcState) eliminate() []*Report {
 	var out []*Report
+	var verdicts map[*ir.Block]elimVerdict
+	if st.domOrdered {
+		verdicts = make(map[*ir.Block]elimVerdict, len(st.f.Blocks))
+		forcedReach := map[*ir.Block]bool{}
+		forcedAlive := map[*ir.Block]bool{}
+		for i := len(st.f.Blocks) - 1; i >= 0; i-- {
+			b := st.f.Blocks[i]
+			if b == st.f.Entry {
+				continue
+			}
+			if st.ctx.Err() != nil {
+				break // cancelled: partial pre-pass, walk below bails too
+			}
+			v := st.elimQueries(b, forcedReach[b], forcedAlive[b])
+			verdicts[b] = v
+			if v.trivial || v.p1 != bv.Sat {
+				continue
+			}
+			alive := len(v.negs) == 0 || v.p2 == bv.Sat
+			for _, d := range st.dom.Dominators(b) {
+				if d == b || d == st.f.Entry {
+					continue
+				}
+				forcedReach[d] = true
+				if alive {
+					forcedAlive[d] = true
+				}
+			}
+		}
+	}
 	for _, b := range st.f.Blocks {
 		if st.ctx.Err() != nil {
 			return out // cancelled: partial results, discarded by CheckFunc
@@ -409,33 +570,23 @@ func (st *funcState) eliminate() []*Report {
 		if b == st.f.Entry {
 			continue
 		}
-		r := st.enc.reachability(b)
-		if r.IsConstBool(false) {
-			st.eliminated[b] = true // trivially unreachable
-			continue
-		}
-		// Phase 1 (without ∆): trivially unreachable code is removed
-		// silently, exactly as a C* compiler could. Constant-true
-		// reachability (common after word-level rewriting) needs no
-		// query at all.
-		if !r.IsConstBool(true) {
-			if res := st.solver.SolveContext(st.ctx, r); res == bv.Unsat {
-				st.eliminated[b] = true
-				continue
-			} else if res == bv.Unknown {
-				continue
+		var v elimVerdict
+		if st.domOrdered {
+			var ok bool
+			if v, ok = verdicts[b]; !ok {
+				return out // pre-pass was cancelled before reaching b
 			}
+		} else {
+			v = st.elimQueries(b, false, false)
 		}
-		// Phase 2 (with the well-defined program assumption).
-		negs, kept := st.wellDefinedTerms(b, false)
-		if len(negs) == 0 {
+		if v.trivial || v.p1 == bv.Unsat {
+			st.eliminated[b] = true
 			continue
 		}
-		assumptions := append([]*bv.Term{r}, negs...)
-		res, coreIdx := st.solver.SolveCoreContext(st.ctx, assumptions...)
-		if res != bv.Unsat {
+		if v.p1 == bv.Unknown || len(v.negs) == 0 || v.p2 != bv.Unsat {
 			continue
 		}
+		r, negs, kept, coreIdx := v.r, v.negs, v.kept, v.coreIdx
 		st.eliminated[b] = true
 		// Only the frontier of an eliminated region is the unstable
 		// code; blocks that are unreachable solely because all their

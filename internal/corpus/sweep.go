@@ -135,11 +135,20 @@ type SweepResult struct {
 	CacheHits        int64
 	LearntsDropped   int64
 	ArenaBytesReused int64
-	// PromotedAllocas / EliminatedStores / GVNHits surface the SSA
-	// pass stack (ir.RunSSAPasses); all zero unless Options.SSA.
-	PromotedAllocas  int64
-	EliminatedStores int64
-	GVNHits          int64
+	// The SSA pass stack and the dominator-ordered elimination walk
+	// (ir.RunSSAPasses, core.Options.SSA; all zero with SSA off). Like
+	// ArenaBytesReused these are deliberately absent from Format():
+	// they track solver-side effort, not analysis results, and the text
+	// block stays byte-identical between the SSA and legacy pipelines.
+	PromotedAllocas       int64
+	EliminatedStores      int64
+	GVNHits               int64
+	SCCPFoldedValues      int64
+	SCCPFoldedBranches    int64
+	SCCPUnreachableBlocks int64
+	CrossBlockGVNHits     int64
+	HoistedUBTerms        int64
+	DomOrderedSkips       int64
 	// CacheResultHits / CacheResultMisses count files answered whole
 	// from the Sweeper.Cache result cache versus analyzed for real.
 	// Both are zero without a configured cache. Like ArenaBytesReused
@@ -507,6 +516,12 @@ func (a *accumulator) finish(workerStats []core.Stats) *SweepResult {
 	res.PromotedAllocas = st.PromotedAllocas
 	res.EliminatedStores = st.EliminatedStores
 	res.GVNHits = st.GVNHits
+	res.SCCPFoldedValues = st.SCCPFoldedValues
+	res.SCCPFoldedBranches = st.SCCPFoldedBranches
+	res.SCCPUnreachableBlocks = st.SCCPUnreachableBlocks
+	res.CrossBlockGVNHits = st.CrossBlockGVNHits
+	res.HoistedUBTerms = st.HoistedUBTerms
+	res.DomOrderedSkips = st.DomOrderedSkips
 	res.CacheResultHits = st.CacheResultHits
 	res.CacheResultMisses = st.CacheResultMisses
 

@@ -33,30 +33,72 @@ package ir
 // rewrite rules (a rewrite can merge terms whose UB side conditions
 // differ, which ∆ must keep apart).
 
-// PassStats aggregates what one RunSSAPasses invocation did.
+// PassStats aggregates what one RunSSAPasses invocation did. Every
+// pass registered in RunSSAPasses surfaces at least one counter here;
+// scripts/invariants.sh enforces that each counter reaches core.Stats
+// and that each pass has a differential oracle.
 type PassStats struct {
 	PromotedAllocas  int
 	PlacedPhis       int
 	EliminatedLoads  int
 	EliminatedStores int
 	GVNHits          int
+
+	SCCPFoldedValues      int
+	SCCPFoldedBranches    int
+	SCCPUnreachableBlocks int
+	CrossBlockGVNHits     int
+	HoistedUBTerms        int
+
+	// Sharpening indicators, used by the differential oracles: facts
+	// only the optimistic SCCP iteration could prove (beyond the bv
+	// rewrite layer's reach) and the total number of instructions
+	// hoisting moved. When promotion, store elimination, these, and
+	// HoistedValues are all zero, the pass stack provably changed no
+	// encoding and the checker's output is byte-identical to the
+	// legacy pipeline's.
+	SCCPSharpened int
+	HoistedValues int
+}
+
+// Sharpening reports whether any pass transformed the function beyond
+// what the encoding layer's rewrite rules would have seen through —
+// i.e. whether byte-identical checker output versus the legacy
+// pipeline is still guaranteed (false) or only semantic equivalence is
+// (true). The differential fuzz oracles key their strictness on this.
+func (ps PassStats) Sharpening() bool {
+	return ps.PromotedAllocas > 0 || ps.EliminatedStores > 0 ||
+		ps.EliminatedLoads > 0 || ps.SCCPSharpened > 0 || ps.HoistedValues > 0
 }
 
 // RunSSAPasses runs the SSA pass stack over f: mem2reg promotion of
-// non-escaping allocas (ssa.go), then value numbering, then dead-store
-// elimination. dom must be f's dominator tree; the passes change no
-// blocks or edges, so it stays valid. UB-condition insertion and
-// encoding must happen after this.
+// non-escaping allocas (ssa.go), then sparse conditional constant
+// propagation (sccp.go) over the promoted form, then dominator-ordered
+// value numbering, dead-store elimination, and loop-invariant UB
+// hoisting (licm.go). dom must be f's dominator tree; the passes
+// change no blocks or edges, so it stays valid. UB-condition insertion
+// and encoding must happen after this.
 func RunSSAPasses(f *Func, dom *DomTree) PassStats {
 	m2r := PromoteAllocas(f, dom)
-	gvn := GVN(f)
+	sccp := SCCP(f)
+	sameGVN, crossGVN := GVN(f, dom)
 	dse := DSE(f)
+	hoistedUB, hoistedAll := HoistLoopInvariantUB(f, dom)
 	return PassStats{
 		PromotedAllocas:  m2r.PromotedAllocas,
 		PlacedPhis:       m2r.PlacedPhis,
 		EliminatedLoads:  m2r.RemovedLoads,
 		EliminatedStores: m2r.RemovedStores + dse,
-		GVNHits:          gvn,
+		GVNHits:          sameGVN,
+
+		SCCPFoldedValues:      sccp.FoldedValues,
+		SCCPFoldedBranches:    sccp.FoldedBranches,
+		SCCPUnreachableBlocks: sccp.UnreachableBlocks,
+		CrossBlockGVNHits:     crossGVN,
+		HoistedUBTerms:        hoistedUB,
+
+		SCCPSharpened: sccp.Sharpened,
+		HoistedValues: hoistedAll,
 	}
 }
 
@@ -109,12 +151,38 @@ func firstAnchor(b *Block) *Value {
 	return nil
 }
 
-// GVN merges structurally identical pure computations within each
-// block: the later duplicate's uses are redirected to the earlier
-// representative and, unless it is the block's report-position anchor,
-// the duplicate is deleted. Returns the number of merged values.
-func GVN(f *Func) int {
-	hits := 0
+// gvnCarriesUBCond reports whether v is an operation insertUBConds
+// attaches a condition to (among the gvnCandidate ops). A cross-block
+// victim carrying a UB condition is never deleted: its condition's
+// guarded ∆ form Or(¬R'_d, ¬U_d) names its *own* block's reachability,
+// which differs from the representative's, so deleting it would drop a
+// term the legacy pipeline keeps. The instruction stays in place as a
+// condition carrier with its uses redirected.
+func gvnCarriesUBCond(v *Value) bool {
+	switch v.Op {
+	case OpPtrAdd, OpUDiv, OpSDiv, OpURem, OpSRem, OpShl, OpLShr, OpAShr:
+		return true
+	case OpAdd, OpSub, OpMul, OpNeg:
+		return v.Signed
+	case OpIndexAddr:
+		return v.Aux2 > 0
+	}
+	return false
+}
+
+// GVN merges structurally identical pure computations with
+// dominator-ordered availability: a value computed in a block is
+// available in every block it dominates, so the table is scoped to the
+// dominator-tree walk. Within a block the representative must precede
+// the victim; across blocks the representative's block must dominate
+// the victim's block *and* precede it in layout order, so that the ∆
+// deduplication (which keeps the first condition in block order) sees
+// the same survivor either way. Uses of the victim are redirected to
+// the representative and the victim is deleted, unless it is its
+// block's report-position anchor or a cross-block UB-condition carrier
+// (see gvnCarriesUBCond). Returns the same-block and cross-block merge
+// counts.
+func GVN(f *Func, dom *DomTree) (sameBlock, crossBlock int) {
 	redirect := map[*Value]*Value{}
 	resolve := func(v *Value) *Value {
 		for {
@@ -126,12 +194,21 @@ func GVN(f *Func) int {
 		}
 	}
 	remove := map[*Value]bool{}
-	for _, b := range f.Blocks {
+	blockIdx := make(map[*Block]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		blockIdx[b] = i
+	}
+	children := domChildren(f, dom)
+	table := map[gvnKey][]*Value{}
+	var scope []gvnKey // undo log: pop table entries when leaving a block
+
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		mark := len(scope)
 		anchor := firstAnchor(b)
-		table := map[gvnKey][]*Value{}
 		for _, v := range b.Instrs {
 			// Renumber operands first so chains of congruences close
-			// within the block.
+			// through dominators.
 			for i, a := range v.Args {
 				v.Args[i] = resolve(a)
 			}
@@ -152,18 +229,28 @@ func GVN(f *Func) int {
 			for _, rep := range table[key] {
 				// Same origin keeps the transitive origin walks behind
 				// macro/inline filtering unchanged.
-				if rep.Origin == v.Origin {
-					redirect[v] = rep
-					hits++
-					if v != anchor {
-						remove[v] = true
-					}
-					merged = true
-					break
+				if rep.Origin != v.Origin {
+					continue
 				}
+				inBlock := rep.Block == b
+				if !inBlock && blockIdx[rep.Block] >= blockIdx[b] {
+					continue // ∆ dedup keeps the first in block order
+				}
+				redirect[v] = rep
+				if inBlock {
+					sameBlock++
+				} else {
+					crossBlock++
+				}
+				if v != anchor && (inBlock || !gvnCarriesUBCond(v)) {
+					remove[v] = true
+				}
+				merged = true
+				break
 			}
 			if !merged {
 				table[key] = append(table[key], v)
+				scope = append(scope, key)
 			}
 		}
 		if b.Term != nil {
@@ -171,9 +258,21 @@ func GVN(f *Func) int {
 				b.Term.Args[i] = resolve(a)
 			}
 		}
+		for _, c := range children[b] {
+			walk(c)
+		}
+		for len(scope) > mark {
+			k := scope[len(scope)-1]
+			scope = scope[:len(scope)-1]
+			table[k] = table[k][:len(table[k])-1]
+		}
 	}
+	if f.Entry != nil {
+		walk(f.Entry)
+	}
+	hits := sameBlock + crossBlock
 	if hits == 0 {
-		return 0
+		return 0, 0
 	}
 	// Cross-block uses of merged values (including phi operands in
 	// blocks processed before the victim's block).
@@ -197,7 +296,7 @@ func GVN(f *Func) int {
 			b.Instrs = kept
 		}
 	}
-	return hits
+	return sameBlock, crossBlock
 }
 
 // DSE deletes stores that are fully overwritten within their own

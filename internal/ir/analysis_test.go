@@ -11,12 +11,12 @@ int f(int a, int b) {
 }
 `
 	execDiff(t, src, "f", [][]uint64{{1, 2}, {7, 9}, {0, 0}}, func(f *Func) {
-		if hits := GVN(f); hits < 2 {
+		if hits, _ := GVN(f, ComputeDom(f)); hits < 2 {
 			t.Errorf("GVN hits = %d, want >= 2 (add and mul each duplicated)", hits)
 		}
 	})
 	f := fn(t, build(t, src), "f")
-	GVN(f)
+	GVN(f, ComputeDom(f))
 	if n := countOp(f, OpAdd); n != 1 {
 		t.Errorf("%d adds remain, want 1", n)
 	}
@@ -39,7 +39,7 @@ int f(int a, int b, int c) {
 `
 	f := fn(t, build(t, src), "f")
 	adds := countOp(f, OpAdd)
-	GVN(f)
+	GVN(f, ComputeDom(f))
 	// Three duplicated (a+b) collapse to one; three muls to one; the
 	// result sum adds stay.
 	if n := countOp(f, OpMul); n != 1 {
@@ -74,8 +74,8 @@ int f(int a, int b) {
 		t.Fatalf("test setup: %d muls, want 2", len(muls))
 	}
 	muls[1].Origin = "MACRO_Y"
-	if hits := GVN(f); hits != 0 {
-		t.Errorf("GVN hits = %d, want 0 across differing origins", hits)
+	if same, cross := GVN(f, ComputeDom(f)); same+cross != 0 {
+		t.Errorf("GVN hits = %d+%d, want 0 across differing origins", same, cross)
 	}
 	if n := countOp(f, OpMul); n != 2 {
 		t.Errorf("%d muls remain, want 2", n)
@@ -98,15 +98,16 @@ int f(int a, int b) {
 	if before != 2 {
 		t.Fatalf("test setup: %d icmps, want 2", before)
 	}
-	GVN(f)
+	GVN(f, ComputeDom(f))
 	if n := countOp(f, OpICmp); n != 2 {
 		t.Errorf("%d icmps remain, want 2 (comparisons never merge)", n)
 	}
 }
 
-// TestGVNDoesNotCrossBlocks: duplicates in different blocks stay
-// separate — the byte-identity argument only covers same-block merges.
-func TestGVNDoesNotCrossBlocks(t *testing.T) {
+// TestGVNDoesNotMergeSiblings: duplicates in sibling branches stay
+// separate — neither block dominates the other, so the value is not
+// available across them.
+func TestGVNDoesNotMergeSiblings(t *testing.T) {
 	src := `
 int f(int a, int b) {
 	int x = 0;
@@ -122,9 +123,9 @@ int f(int a, int b) {
 	if n := countOp(f, OpMul); n != 2 {
 		t.Fatalf("test setup: %d muls, want 2", n)
 	}
-	GVN(f)
+	GVN(f, ComputeDom(f))
 	if n := countOp(f, OpMul); n != 2 {
-		t.Errorf("%d muls remain, want 2 (the duplicates live in different blocks)", n)
+		t.Errorf("%d muls remain, want 2 (the duplicates live in sibling blocks)", n)
 	}
 }
 

@@ -119,11 +119,14 @@ func (m *machine) run(f *Func, args []uint64) (ExecResult, error) {
 	var prev *Block
 	for {
 		// Phis first, evaluated simultaneously from the incoming edge.
+		// They are scanned by op, not as a positional prefix: SCCP
+		// transmutes proven-constant phis to OpConst in place, so
+		// constants may interleave the leading phi run.
 		var phiVals []uint64
 		var phis []*Value
 		for _, v := range blk.Instrs {
 			if v.Op != OpPhi {
-				break
+				continue
 			}
 			phis = append(phis, v)
 			idx := -1
@@ -142,7 +145,10 @@ func (m *machine) run(f *Func, args []uint64) (ExecResult, error) {
 		for i, v := range phis {
 			m.vals[v] = maskW(phiVals[i], v.Width)
 		}
-		for _, v := range blk.Instrs[len(phis):] {
+		for _, v := range blk.Instrs {
+			if v.Op == OpPhi {
+				continue // evaluated above
+			}
 			m.steps++
 			if m.steps > m.max {
 				return ExecResult{Steps: m.steps}, ErrSteps

@@ -41,8 +41,9 @@ const schemaVersion = 1
 // defaultBenchSet is the trajectory benchmark set: one end-to-end sweep
 // profile (Fig. 16 Kerberos), the parallel-sweep speedup benchmark, the
 // incremental-vs-scratch solver benchmark, the SSA pass-stack
-// differential benchmark, and the warm result-cache sweep benchmark.
-const defaultBenchSet = "BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch|BenchmarkSSAChainHeavy|BenchmarkWarmSweep"
+// differential benchmark, the global-analysis (SCCP/hoisting) branch-
+// heavy benchmark, and the warm result-cache sweep benchmark.
+const defaultBenchSet = "BenchmarkFig16Kerberos|BenchmarkSweepParallel|BenchmarkIncrementalVsScratch|BenchmarkSSAChainHeavy|BenchmarkSCCPBranchHeavy|BenchmarkWarmSweep"
 
 // Benchmark is one benchmark's measurements: the standard testing
 // quantities plus every custom b.ReportMetric value, keyed by unit.
@@ -100,6 +101,15 @@ var higherBetter = map[string]float64{
 	// (BenchmarkWarmSweep). The benchmark fatals below 1.0, so the band
 	// is nearly tight; it exists so a checkpoint diff shows the gate.
 	"warm-hit-rate": 0.99,
+	// Global-analysis pass counters on the branch-heavy corpus
+	// (BenchmarkSCCPBranchHeavy). Both are deterministic counts of what
+	// the passes proved on a fixed corpus, so the bands are nearly
+	// tight: a drop means a pass silently stopped firing.
+	"sccp-folded-branches": 0.99,
+	"hoisted-ub-terms":     0.99,
+	// Legacy queries over SSA queries on the same corpus; the benchmark
+	// fatals unless it is strictly above 1.
+	"query-reduction": 0.75,
 }
 
 func main() {

@@ -26,6 +26,15 @@
 #      TestOptionsFingerprintCoversAllFields) makes that a CI failure
 #      instead of a latent correctness bug.
 #
+#   4. Accounted SSA passes. Every pass invoked by ir.RunSSAPasses must
+#      be registered here with a core.Stats counter that exists in the
+#      Stats struct and a differential fuzz oracle that exists in the
+#      test sources. An optimizing pass without a counter is invisible
+#      in production stats; one without a differential oracle can
+#      miscompile silently (the SCCP/exec phi-prefix bug was caught by
+#      exactly such an oracle). Adding a pass to RunSSAPasses without
+#      registering both is a CI failure.
+#
 # Usage:
 #   scripts/invariants.sh              # check the repository
 #   scripts/invariants.sh --self-test  # prove the checks can fail
@@ -131,6 +140,60 @@ check_fingerprint() {
 	echo "invariants: ok: cache fingerprint covers every core.Options field"
 }
 
+# check_ssa_passes IR_FILE CORE_FILE TEST_ROOT — every pass invoked in
+# the body of RunSSAPasses (IR_FILE) must have a registry row below
+# mapping it to a core.Stats counter (present in CORE_FILE's Stats
+# struct) and a differential fuzz oracle (a Fuzz* function present in
+# the _test.go sources under TEST_ROOT).
+check_ssa_passes() {
+	local ir_file="$1" core_file="$2" test_root="$3" bad=0 pass counter oracle row
+	if [ ! -f "$ir_file" ] || [ ! -f "$core_file" ]; then
+		echo "invariants: FAIL: missing $ir_file or $core_file" >&2
+		return 1
+	fi
+	# Registry: pass function -> core.Stats counter -> differential
+	# oracle. PromoteAllocas and DSE predate the per-pass exec fuzzers
+	# and are covered by the end-to-end byte-identity oracle.
+	local table="PromoteAllocas PromotedAllocas FuzzSSADifferential
+SCCP SCCPFoldedValues FuzzSCCPDifferential
+GVN GVNHits FuzzGVNDifferential
+DSE EliminatedStores FuzzSSADifferential
+HoistLoopInvariantUB HoistedUBTerms FuzzHoistDifferential"
+	# Pass invocations in the RunSSAPasses body (`x := PassName(f...)`).
+	local invoked
+	invoked="$(awk '
+		/^func RunSSAPasses\(/ { in_fn = 1 }
+		in_fn && /^}/ { exit }
+		in_fn { print }
+	' "$ir_file" | grep -oE ':= [A-Z][A-Za-z0-9]*\(' | sed 's/:= //; s/(//' | sort -u)"
+	if [ -z "$invoked" ]; then
+		echo "invariants: FAIL: no passes parsed from RunSSAPasses in $ir_file" >&2
+		return 1
+	fi
+	local stats_fields
+	stats_fields="$(struct_fields "$core_file" Stats)"
+	while IFS= read -r pass; do
+		row="$(printf '%s\n' "$table" | awk -v p="$pass" '$1 == p')"
+		if [ -z "$row" ]; then
+			echo "invariants: FAIL: SSA pass $pass in RunSSAPasses has no registered counter/oracle (add a registry row in check_ssa_passes)" >&2
+			bad=1
+			continue
+		fi
+		counter="$(printf '%s' "$row" | awk '{print $2}')"
+		oracle="$(printf '%s' "$row" | awk '{print $3}')"
+		if ! printf '%s\n' "$stats_fields" | grep -qx "$counter"; then
+			echo "invariants: FAIL: SSA pass $pass counter $counter missing from core.Stats in $core_file" >&2
+			bad=1
+		fi
+		if ! grep -rqE "func $oracle\(" --include='*_test.go' "$test_root"; then
+			echo "invariants: FAIL: SSA pass $pass differential oracle $oracle not found under $test_root" >&2
+			bad=1
+		fi
+	done <<<"$invoked"
+	[ "$bad" -eq 0 ] || return 1
+	echo "invariants: ok: every SSA pass has a stats counter and a differential oracle"
+}
+
 self_test() {
 	local tmp pass=0
 	tmp="$(mktemp -d)"
@@ -234,10 +297,63 @@ self_test() {
 		pass=1
 	fi
 
+	# An unregistered pass in RunSSAPasses must fail; a registered pass
+	# whose counter is absent from core.Stats must fail; the registered
+	# pass with counter and oracle in place must pass.
+	mkdir -p "$tmp/f/ir" "$tmp/f/core" "$tmp/f/tests"
+	cat >"$tmp/f/ir/rogue.go" <<-'EOF'
+		package ir
+
+		func RunSSAPasses(f *Func, dom *DomTree) PassStats {
+			n := Frobnicate(f)
+			return PassStats{Frobnications: n}
+		}
+	EOF
+	cat >"$tmp/f/ir/registered.go" <<-'EOF'
+		package ir
+
+		func RunSSAPasses(f *Func, dom *DomTree) PassStats {
+			sccp := SCCP(f)
+			return PassStats{SCCPFoldedValues: sccp.FoldedValues}
+		}
+	EOF
+	cat >"$tmp/f/core/bare.go" <<-'EOF'
+		package core
+
+		type Stats struct {
+			Queries int64
+		}
+	EOF
+	cat >"$tmp/f/core/counted.go" <<-'EOF'
+		package core
+
+		type Stats struct {
+			Queries          int64
+			SCCPFoldedValues int64
+		}
+	EOF
+	cat >"$tmp/f/tests/oracle_test.go" <<-'EOF'
+		package ir
+
+		func FuzzSCCPDifferential(f *testing.F) {}
+	EOF
+	if check_ssa_passes "$tmp/f/ir/rogue.go" "$tmp/f/core/counted.go" "$tmp/f/tests" >/dev/null 2>&1; then
+		echo "invariants: SELF-TEST FAIL: unregistered SSA pass not detected" >&2
+		pass=1
+	fi
+	if check_ssa_passes "$tmp/f/ir/registered.go" "$tmp/f/core/bare.go" "$tmp/f/tests" >/dev/null 2>&1; then
+		echo "invariants: SELF-TEST FAIL: SSA pass with missing counter not detected" >&2
+		pass=1
+	fi
+	if ! check_ssa_passes "$tmp/f/ir/registered.go" "$tmp/f/core/counted.go" "$tmp/f/tests" >/dev/null 2>&1; then
+		echo "invariants: SELF-TEST FAIL: fully accounted SSA pass rejected" >&2
+		pass=1
+	fi
+
 	if [ "$pass" -ne 0 ]; then
 		return 1
 	fi
-	echo "invariants: self-test ok (6 cases)"
+	echo "invariants: self-test ok (9 cases)"
 }
 
 if [ "${1:-}" = "--self-test" ]; then
@@ -248,3 +364,4 @@ fi
 check_one_emitter "$ROOT"
 check_codes "$ROOT" "$ROOT/scripts/codes.manifest"
 check_fingerprint "$ROOT/internal/core/checker.go" "$ROOT/stack/cachekey.go"
+check_ssa_passes "$ROOT/internal/ir/analysis.go" "$ROOT/internal/core/checker.go" "$ROOT/internal"

@@ -45,6 +45,13 @@ func (s *Stats) Add(other Stats) {
 	s.PromotedAllocas += other.PromotedAllocas
 	s.EliminatedStores += other.EliminatedStores
 	s.GVNHits += other.GVNHits
+	s.SCCPFoldedValues += other.SCCPFoldedValues
+	s.SCCPFoldedBranches += other.SCCPFoldedBranches
+	s.SCCPUnreachableBlocks += other.SCCPUnreachableBlocks
+	s.CrossBlockGVNHits += other.CrossBlockGVNHits
+	s.HoistedUBTerms += other.HoistedUBTerms
+	s.DomOrderedSkips += other.DomOrderedSkips
+	s.SSASharpened += other.SSASharpened
 	s.CacheResultHits += other.CacheResultHits
 	s.CacheResultMisses += other.CacheResultMisses
 }

@@ -17,6 +17,10 @@ type CommonFlags struct {
 	MaxConflicts int64
 	// Workers is -j: goroutines per pipeline stage (0 = one per CPU).
 	Workers int
+	// LegacyPipeline is -legacy-pipeline: disable the default SSA pass
+	// stack and analyze with the legacy encoding — the differential
+	// reference mode (see WithSSA).
+	LegacyPipeline bool
 }
 
 // BindCommonFlags registers the shared checker flags on fs (use
@@ -27,6 +31,7 @@ func BindCommonFlags(fs *flag.FlagSet) *CommonFlags {
 	fs.DurationVar(&f.Timeout, "timeout", 5*time.Second, "per-query solver timeout")
 	fs.Int64Var(&f.MaxConflicts, "max-conflicts", 0, "per-query solver conflict budget (0 = unbounded)")
 	fs.IntVar(&f.Workers, "j", 0, "concurrent checking workers (0 = one per CPU)")
+	fs.BoolVar(&f.LegacyPipeline, "legacy-pipeline", false, "disable the default SSA pass stack (differential reference mode)")
 	return f
 }
 
@@ -36,5 +41,6 @@ func (f *CommonFlags) Options() []Option {
 		WithSolverTimeout(f.Timeout),
 		WithMaxConflictsPerQuery(f.MaxConflicts),
 		WithWorkers(f.Workers),
+		WithSSA(!f.LegacyPipeline),
 	}
 }

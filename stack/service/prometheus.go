@@ -76,6 +76,13 @@ func writePrometheus(w io.Writer, snap metricsSnapshot) {
 	counter("stackd_solver_promoted_allocas_total", "Allocas promoted to SSA values (WithSSA).", st.PromotedAllocas)
 	counter("stackd_solver_eliminated_stores_total", "Stores removed by SSA passes (WithSSA).", st.EliminatedStores)
 	counter("stackd_solver_gvn_hits_total", "Values merged by value numbering (WithSSA).", st.GVNHits)
+	counter("stackd_solver_sccp_folded_values_total", "Values SCCP transmuted to constants (WithSSA).", st.SCCPFoldedValues)
+	counter("stackd_solver_sccp_folded_branches_total", "Branch conditions SCCP proved constant (WithSSA).", st.SCCPFoldedBranches)
+	counter("stackd_solver_sccp_unreachable_blocks_total", "Blocks SCCP found unreachable (WithSSA).", st.SCCPUnreachableBlocks)
+	counter("stackd_solver_cross_block_gvn_hits_total", "Values merged into a dominating block's representative (WithSSA).", st.CrossBlockGVNHits)
+	counter("stackd_solver_hoisted_ub_terms_total", "UB-carrying instructions hoisted out of loop headers (WithSSA).", st.HoistedUBTerms)
+	counter("stackd_solver_dom_ordered_skips_total", "Elimination queries skipped by the dominator-ordered walk (WithSSA).", st.DomOrderedSkips)
+	counter("stackd_solver_ssa_sharpened_total", "Functions where SSA passes sharpened beyond the rewrite layer (WithSSA).", st.SSASharpened)
 	counter("stackd_result_cache_result_hits_total", "Sources answered whole from the result cache.", st.CacheResultHits)
 	counter("stackd_result_cache_result_misses_total", "Sources analyzed for real (result-cache misses).", st.CacheResultMisses)
 

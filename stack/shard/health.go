@@ -7,6 +7,8 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,6 +99,47 @@ func (d *Dispatcher) Health() []ReplicaHealth {
 		rs.mu.Unlock()
 	}
 	return out
+}
+
+// DispatcherHealth is the JSON document HealthHandler serves: the
+// fleet roll-up plus the per-replica snapshot of Health().
+type DispatcherHealth struct {
+	Up       int             `json:"up"`
+	Total    int             `json:"total"`
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
+// HealthHandler returns an http.Handler that serves the dispatcher's
+// replica-health snapshot as JSON — the dispatcher-side counterpart of
+// a replica's /healthz, for load balancers and fleet dashboards that
+// sit in front of the sharding client rather than behind it. The
+// response is 200 while at least one replica is up and 503 when the
+// whole fleet is down (the body is served either way, so a dashboard
+// can still show which replica failed and why).
+func (d *Dispatcher) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		doc := DispatcherHealth{Replicas: d.Health(), Total: len(d.replicas)}
+		for _, rh := range doc.Replicas {
+			if rh.Up {
+				doc.Up++
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if doc.Up == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if r.Method == http.MethodHead {
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
 }
 
 // upIndices returns the indices of replicas not marked down.

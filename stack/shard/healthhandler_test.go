@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/stack"
+)
+
+func healthDoc(t *testing.T, d *Dispatcher, wantCode int) DispatcherHealth {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	d.HealthHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != wantCode {
+		t.Fatalf("status = %d, want %d (body %q)", rec.Code, wantCode, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var doc DispatcherHealth
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON body %q: %v", rec.Body.String(), err)
+	}
+	return doc
+}
+
+func TestHealthHandler(t *testing.T) {
+	d := New(stack.New(), stack.New())
+	doc := healthDoc(t, d, http.StatusOK)
+	if doc.Up != 2 || doc.Total != 2 || len(doc.Replicas) != 2 {
+		t.Fatalf("fleet roll-up = %+v, want 2/2 with 2 replicas", doc)
+	}
+	if doc.Replicas[0].Name != "replica0" || !doc.Replicas[0].Up {
+		t.Fatalf("replica 0 = %+v, want up replica0", doc.Replicas[0])
+	}
+
+	// One replica down: still 200, and the failure is in the body.
+	d.replicas[1].setDown(errors.New("connection refused"))
+	doc = healthDoc(t, d, http.StatusOK)
+	if doc.Up != 1 {
+		t.Fatalf("up = %d after one failure, want 1", doc.Up)
+	}
+	if doc.Replicas[1].Up || doc.Replicas[1].LastErr != "connection refused" {
+		t.Fatalf("replica 1 = %+v, want down with the recorded error", doc.Replicas[1])
+	}
+
+	// Whole fleet down: 503, body still served.
+	d.replicas[0].setDown(errors.New("timeout"))
+	doc = healthDoc(t, d, http.StatusServiceUnavailable)
+	if doc.Up != 0 || len(doc.Replicas) != 2 {
+		t.Fatalf("fleet-down doc = %+v, want 0 up with both replicas listed", doc)
+	}
+
+	// Non-read methods are rejected.
+	rec := httptest.NewRecorder()
+	d.HealthHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/healthz", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want %d", rec.Code, http.StatusMethodNotAllowed)
+	}
+}

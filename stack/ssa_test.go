@@ -25,9 +25,9 @@ int walk(char *buf, char *buf_end, unsigned int len) {
 }
 `
 
-// TestWithSSAIdenticalDiagnostics: the public option must not change
-// any diagnostic — same files, same codes, same rendered text — while
-// surfacing the pass counters through the stats trailer.
+// TestWithSSAIdenticalDiagnostics: SSA is the default; turning it off
+// (the legacy reference pipeline) must not change any diagnostic —
+// same files, same codes, same rendered text.
 func TestWithSSAIdenticalDiagnostics(t *testing.T) {
 	srcs := []Source{
 		{Name: "fig1.c", Text: fig1Src},
@@ -35,16 +35,16 @@ func TestWithSSAIdenticalDiagnostics(t *testing.T) {
 		{Name: "ssa.c", Text: ssaRichSrc},
 	}
 	for _, src := range srcs {
-		legacy, err := New().CheckSource(context.Background(), src.Name, src.Text)
+		legacy, err := New(WithSSA(false)).CheckSource(context.Background(), src.Name, src.Text)
+		if err != nil {
+			t.Fatalf("%s legacy: %v", src.Name, err)
+		}
+		ssa, err := New().CheckSource(context.Background(), src.Name, src.Text)
 		if err != nil {
 			t.Fatalf("%s: %v", src.Name, err)
 		}
-		ssa, err := New(WithSSA(true)).CheckSource(context.Background(), src.Name, src.Text)
-		if err != nil {
-			t.Fatalf("%s with SSA: %v", src.Name, err)
-		}
 		if !reflect.DeepEqual(legacy.Diagnostics, ssa.Diagnostics) {
-			t.Errorf("%s: diagnostics differ under WithSSA:\n legacy: %+v\n ssa:    %+v",
+			t.Errorf("%s: diagnostics differ between WithSSA(false) and the default:\n legacy: %+v\n ssa:    %+v",
 				src.Name, legacy.Diagnostics, ssa.Diagnostics)
 		}
 		if len(legacy.Diagnostics) == 0 {
@@ -53,11 +53,12 @@ func TestWithSSAIdenticalDiagnostics(t *testing.T) {
 	}
 }
 
-// TestWithSSAStatsTrailer: pass counters appear in the JSON stats only
-// under WithSSA — with omitempty zeros, the legacy trailer bytes are
-// untouched (the golden-JSON tests depend on that).
+// TestWithSSAStatsTrailer: pass counters appear in the JSON stats by
+// default and vanish under WithSSA(false) — with omitempty zeros, the
+// legacy trailer bytes are untouched (the golden-JSON tests depend on
+// that).
 func TestWithSSAStatsTrailer(t *testing.T) {
-	ssa, err := New(WithSSA(true)).CheckSource(context.Background(), "ssa.c", ssaRichSrc)
+	ssa, err := New().CheckSource(context.Background(), "ssa.c", ssaRichSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,8 +71,14 @@ func TestWithSSAStatsTrailer(t *testing.T) {
 	if ssa.Stats.EliminatedStores == 0 {
 		t.Error("EliminatedStores = 0 on a source with an overwritten store")
 	}
+	if ssa.Stats.DomOrderedSkips == 0 {
+		t.Error("DomOrderedSkips = 0 on an acyclic function with solver queries")
+	}
+	if ssa.Stats.SSASharpened == 0 {
+		t.Error("SSASharpened = 0 though promotion fired")
+	}
 
-	legacy, err := New().CheckSource(context.Background(), "ssa.c", ssaRichSrc)
+	legacy, err := New(WithSSA(false)).CheckSource(context.Background(), "ssa.c", ssaRichSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,9 +86,14 @@ func TestWithSSAStatsTrailer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"promotedAllocas", "eliminatedStores", "gvnHits"} {
+	for _, key := range []string{
+		"promotedAllocas", "eliminatedStores", "gvnHits",
+		"sccpFoldedValues", "sccpFoldedBranches", "sccpUnreachableBlocks",
+		"crossBlockGvnHits", "hoistedUbTerms", "domOrderedSkips",
+		"ssaSharpened",
+	} {
 		if strings.Contains(string(raw), key) {
-			t.Errorf("legacy stats trailer leaks %q: %s", key, raw)
+			t.Errorf("WithSSA(false) stats trailer leaks %q: %s", key, raw)
 		}
 	}
 }

@@ -71,7 +71,8 @@ type Option func(*config)
 
 // New returns an Analyzer with the paper's default configuration
 // (5-second query timeout, origin filtering, minimal UB sets,
-// inlining) modified by the given options.
+// inlining, the SSA pass stack — see WithSSA) modified by the given
+// options.
 func New(options ...Option) *Analyzer {
 	cfg := config{opts: core.DefaultOptions}
 	for _, o := range options {
@@ -132,16 +133,25 @@ func WithScratchSolving(on bool) Option {
 	return func(c *config) { c.opts.ScratchSolve = on }
 }
 
-// WithSSA runs the pruned-SSA pass stack (mem2reg promotion of
-// non-escaping allocas, structural value numbering, dead-store
-// elimination) over each function before encoding. Diagnostics are
-// byte-identical to the legacy pipeline across the synthetic corpus
-// (the differential gate TestSSAVsLegacyByteIdentity); the passes
-// change the work, not the verdicts — promoted loads stop encoding as
-// distinct opaque solver variables, so value graphs hash-cons across
-// the whole function and fewer terms reach the SAT core. Off by
-// default while the differential gate soaks. The pass counters
-// surface in Stats as PromotedAllocas / EliminatedStores / GVNHits.
+// WithSSA toggles the pruned-SSA pass stack run over each function
+// before encoding: mem2reg promotion of non-escaping allocas, sparse
+// conditional constant propagation, dominator-ordered value numbering,
+// dead-store elimination, and loop-invariant UB hoisting — plus, on
+// acyclic functions, the dominator-ordered elimination walk that skips
+// solver queries whose answer a dominated block already implied.
+//
+// On by default. Diagnostics are byte-identical to the legacy pipeline
+// across the synthetic corpus (the differential gate
+// TestSSAVsLegacyByteIdentity, raced over worker counts and sweep
+// modes); the passes change the work, not the verdicts — promoted
+// loads stop encoding as distinct opaque solver variables, constant
+// branch conditions die in the lattice instead of the SAT core, and
+// duplicate value graphs hash-cons across the whole function.
+// WithSSA(false) is the escape hatch and the differential reference:
+// every per-pass fuzz oracle compares against it. The pass counters
+// surface in Stats as PromotedAllocas / EliminatedStores / GVNHits /
+// SCCPFoldedValues / SCCPFoldedBranches / SCCPUnreachableBlocks /
+// CrossBlockGVNHits / HoistedUBTerms / DomOrderedSkips.
 func WithSSA(on bool) Option {
 	return func(c *config) { c.opts.SSA = on }
 }
@@ -234,14 +244,33 @@ type Stats struct {
 	CacheHits        int64 `json:"cacheHits"`
 	LearntsDropped   int64 `json:"learntsDropped"`
 	ArenaBytesReused int64 `json:"arenaBytesReused"`
-	// SSA pass counters (all zero unless WithSSA): PromotedAllocas
-	// counts address-taken variables mem2reg rewrote into SSA values,
-	// EliminatedStores counts stores removed by promotion and
-	// dead-store elimination, GVNHits counts values merged into a
-	// structurally identical representative.
-	PromotedAllocas  int64 `json:"promotedAllocas,omitempty"`
-	EliminatedStores int64 `json:"eliminatedStores,omitempty"`
-	GVNHits          int64 `json:"gvnHits,omitempty"`
+	// SSA pass counters (all zero under WithSSA(false)):
+	// PromotedAllocas counts address-taken variables mem2reg rewrote
+	// into SSA values, EliminatedStores counts stores removed by
+	// promotion and dead-store elimination, GVNHits counts values
+	// merged into a structurally identical representative in the same
+	// block, SCCPFoldedValues / SCCPFoldedBranches /
+	// SCCPUnreachableBlocks count what sparse conditional constant
+	// propagation proved, CrossBlockGVNHits counts merges into a
+	// dominating block's representative, HoistedUBTerms counts
+	// UB-carrying instructions hoisted out of loop headers, and
+	// DomOrderedSkips counts elimination queries skipped because a
+	// dominated block's satisfiable verdict implied them.
+	PromotedAllocas       int64 `json:"promotedAllocas,omitempty"`
+	EliminatedStores      int64 `json:"eliminatedStores,omitempty"`
+	GVNHits               int64 `json:"gvnHits,omitempty"`
+	SCCPFoldedValues      int64 `json:"sccpFoldedValues,omitempty"`
+	SCCPFoldedBranches    int64 `json:"sccpFoldedBranches,omitempty"`
+	SCCPUnreachableBlocks int64 `json:"sccpUnreachableBlocks,omitempty"`
+	CrossBlockGVNHits     int64 `json:"crossBlockGvnHits,omitempty"`
+	HoistedUBTerms        int64 `json:"hoistedUbTerms,omitempty"`
+	DomOrderedSkips       int64 `json:"domOrderedSkips,omitempty"`
+	// SSASharpened counts functions where a pass proved a fact beyond
+	// the encoding layer's rewrite rules. When absent, the run's output
+	// is guaranteed byte-identical to WithSSA(false) — the key the
+	// differential fuzz oracle and the soak recipe in EXPERIMENTS.md
+	// both gate on.
+	SSASharpened int64 `json:"ssaSharpened,omitempty"`
 	// Result-cache traffic (all zero unless WithCache is configured):
 	// CacheResultHits counts sources answered whole from the cache —
 	// frontend, IR, and solver all skipped — CacheResultMisses counts
@@ -268,11 +297,18 @@ func statsOf(st core.Stats) Stats {
 		CacheHits:         st.CacheHits,
 		LearntsDropped:    st.LearntsDropped,
 		ArenaBytesReused:  st.ArenaBytesReused,
-		PromotedAllocas:   st.PromotedAllocas,
-		EliminatedStores:  st.EliminatedStores,
-		GVNHits:           st.GVNHits,
-		CacheResultHits:   st.CacheResultHits,
-		CacheResultMisses: st.CacheResultMisses,
+		PromotedAllocas:       st.PromotedAllocas,
+		EliminatedStores:      st.EliminatedStores,
+		GVNHits:               st.GVNHits,
+		SCCPFoldedValues:      st.SCCPFoldedValues,
+		SCCPFoldedBranches:    st.SCCPFoldedBranches,
+		SCCPUnreachableBlocks: st.SCCPUnreachableBlocks,
+		CrossBlockGVNHits:     st.CrossBlockGVNHits,
+		HoistedUBTerms:        st.HoistedUBTerms,
+		DomOrderedSkips:       st.DomOrderedSkips,
+		SSASharpened:          st.SSASharpened,
+		CacheResultHits:       st.CacheResultHits,
+		CacheResultMisses:     st.CacheResultMisses,
 	}
 }
 
